@@ -1,0 +1,309 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section (run `go test -bench=. -benchmem`), plus kernel
+// and end-to-end factorization benchmarks. The figure benchmarks run
+// the same generators as `cmd/hsdbench` at a reduced scale so the whole
+// suite completes in minutes; `hsdbench -exp <id>` reproduces them at
+// paper scale. Each figure benchmark reports the headline metric of its
+// figure as a custom unit next to ns/op.
+package repro
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/kernel"
+	"repro/internal/layout"
+	"repro/internal/mat"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// benchScale keeps figure regeneration fast inside `go test -bench`.
+const benchScale = 0.4
+
+// runExperiment executes one experiment generator per iteration and
+// reports a headline metric extracted from the resulting table.
+func runExperimentBench(b *testing.B, id string, metric func(*experiments.Table) (float64, string)) {
+	b.Helper()
+	var tbl *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = experiments.Run(id, benchScale, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if metric != nil {
+		v, unit := metric(tbl)
+		b.ReportMetric(v, unit)
+	}
+}
+
+// cell parses the numeric prefix of a table cell ("123.4", "+56.7%",
+// "95% of makespan").
+func cell(tbl *experiments.Table, row, col int) float64 {
+	s := strings.TrimPrefix(strings.TrimSpace(tbl.Rows[row][col]), "+")
+	end := 0
+	for end < len(s) && (s[end] == '-' || s[end] == '.' || (s[end] >= '0' && s[end] <= '9')) {
+		end++
+	}
+	v, err := strconv.ParseFloat(s[:end], 64)
+	if err != nil {
+		panic(fmt.Sprintf("bench: unparseable cell %q", tbl.Rows[row][col]))
+	}
+	return v
+}
+
+func lastRow(tbl *experiments.Table) int { return len(tbl.Rows) - 1 }
+
+// ---------------------------------------------------------------------
+// One benchmark per figure/table.
+
+func BenchmarkFig01StaticProfile(b *testing.B) {
+	runExperimentBench(b, "fig1", func(t *experiments.Table) (float64, string) {
+		return cell(t, 2, 1), "idle%"
+	})
+}
+
+func BenchmarkFig04HybridProfile(b *testing.B) {
+	runExperimentBench(b, "fig4", func(t *experiments.Table) (float64, string) {
+		return cell(t, 2, 1), "idle%"
+	})
+}
+
+func BenchmarkFig06IntelBCL(b *testing.B) {
+	runExperimentBench(b, "fig6", func(t *experiments.Table) (float64, string) {
+		return cell(t, lastRow(t), 2), "h10-Gflops"
+	})
+}
+
+func BenchmarkFig07AMDBCL(b *testing.B) {
+	runExperimentBench(b, "fig7", func(t *experiments.Table) (float64, string) {
+		return cell(t, lastRow(t), 2), "h10-Gflops"
+	})
+}
+
+func BenchmarkFig08AMDImprovementBCL(b *testing.B) {
+	runExperimentBench(b, "fig8", func(t *experiments.Table) (float64, string) {
+		return cell(t, lastRow(t), 2), "h10-vs-static-%"
+	})
+}
+
+func BenchmarkFig09Intel2lBL(b *testing.B) {
+	runExperimentBench(b, "fig9", func(t *experiments.Table) (float64, string) {
+		return cell(t, lastRow(t), 2), "h10-Gflops"
+	})
+}
+
+func BenchmarkFig10AMD2lBL(b *testing.B) {
+	runExperimentBench(b, "fig10", func(t *experiments.Table) (float64, string) {
+		return cell(t, lastRow(t), 2), "h10-Gflops"
+	})
+}
+
+func BenchmarkFig11AMDImprovement2lBL(b *testing.B) {
+	runExperimentBench(b, "fig11", func(t *experiments.Table) (float64, string) {
+		return cell(t, lastRow(t), 3), "h10-vs-dynamic-%"
+	})
+}
+
+func BenchmarkFig12IntelSummary(b *testing.B) {
+	runExperimentBench(b, "fig12", func(t *experiments.Table) (float64, string) {
+		return cell(t, lastRow(t), 2), "BCL-h10-Gflops"
+	})
+}
+
+func BenchmarkFig13AMDSummary(b *testing.B) {
+	runExperimentBench(b, "fig13", func(t *experiments.Table) (float64, string) {
+		return cell(t, lastRow(t), 2), "BCL-h10-Gflops"
+	})
+}
+
+func BenchmarkFig14DynamicCMProfile(b *testing.B) {
+	runExperimentBench(b, "fig14", func(t *experiments.Table) (float64, string) {
+		// "90% of workers permanently idle at" row, % of makespan.
+		return cell(t, 3, 1), "idle-point-%"
+	})
+}
+
+func BenchmarkFig15Hybrid2lBLProfile(b *testing.B) {
+	runExperimentBench(b, "fig15", func(t *experiments.Table) (float64, string) {
+		return cell(t, 2, 1), "idle%"
+	})
+}
+
+func BenchmarkFig16IntelVsLibraries(b *testing.B) {
+	runExperimentBench(b, "fig16", func(t *experiments.Table) (float64, string) {
+		return cell(t, lastRow(t), 5), "vs-MKL-%"
+	})
+}
+
+func BenchmarkFig17AMDVsLibraries(b *testing.B) {
+	runExperimentBench(b, "fig17", func(t *experiments.Table) (float64, string) {
+		return cell(t, lastRow(t), 5), "vs-MKL-%"
+	})
+}
+
+func BenchmarkTable1DesignSpace(b *testing.B) {
+	runExperimentBench(b, "table1", func(t *experiments.Table) (float64, string) {
+		ok := 0.0
+		for _, row := range t.Rows {
+			if row[len(row)-1] == "yes" {
+				ok++
+			}
+		}
+		return ok, "cells-ok"
+	})
+}
+
+func BenchmarkTheorem1Validation(b *testing.B) {
+	runExperimentBench(b, "thm1", func(t *experiments.Table) (float64, string) {
+		return cell(t, lastRow(t), 4), "bound-fs"
+	})
+}
+
+func BenchmarkExascaleProjection(b *testing.B) {
+	runExperimentBench(b, "exascale", func(t *experiments.Table) (float64, string) {
+		return cell(t, lastRow(t), 3), "min-dynamic-%"
+	})
+}
+
+func BenchmarkAblation(b *testing.B) {
+	runExperimentBench(b, "ablation", nil)
+}
+
+// ---------------------------------------------------------------------
+// Real-arithmetic end-to-end benchmarks on this machine.
+
+func benchFactor(b *testing.B, kind layout.Kind, sch core.Scheduler, dratio float64) {
+	b.Helper()
+	const n = 512
+	a := RandomMatrix(n, n, 1)
+	opt := Options{Layout: kind, Block: 64, Workers: 2, Scheduler: sch, DynamicRatio: dratio}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factor(a, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(n * n * 8))
+}
+
+func BenchmarkRealCALUStaticBCL(b *testing.B) {
+	benchFactor(b, layout.BCL, core.ScheduleStatic, 0)
+}
+
+func BenchmarkRealCALUDynamicBCL(b *testing.B) {
+	benchFactor(b, layout.BCL, core.ScheduleDynamic, 1)
+}
+
+func BenchmarkRealCALUHybridBCL(b *testing.B) {
+	benchFactor(b, layout.BCL, core.ScheduleHybrid, 0.1)
+}
+
+func BenchmarkRealCALUHybrid2lBL(b *testing.B) {
+	benchFactor(b, layout.TwoLevel, core.ScheduleHybrid, 0.1)
+}
+
+func BenchmarkRealGEPPBaseline(b *testing.B) {
+	const n = 512
+	a := RandomMatrix(n, n, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.FactorGEPP(a, baseline.GEPPOptions{Block: 64, Workers: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealIncPivBaseline(b *testing.B) {
+	const n = 512
+	a := RandomMatrix(n, n, 1)
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baseline.SolveIncPiv(a, rhs, baseline.IncPivOptions{Block: 64, Workers: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Kernel microbenchmarks.
+
+func viewOf(a *mat.Dense) kernel.View {
+	return kernel.View{Rows: a.Rows, Cols: a.Cols, Stride: a.Stride, Data: a.Data}
+}
+
+func BenchmarkKernelGemm128(b *testing.B) {
+	a := RandomMatrix(128, 128, 1)
+	bb := RandomMatrix(128, 128, 2)
+	c := RandomMatrix(128, 128, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel.Gemm(viewOf(c), viewOf(a), viewOf(bb))
+	}
+	b.SetBytes(3 * 128 * 128 * 8)
+}
+
+func BenchmarkKernelTrsmLower128(b *testing.B) {
+	l := RandomMatrix(128, 128, 4)
+	for i := 0; i < 128; i++ {
+		l.Set(i, i, 1)
+	}
+	x := RandomMatrix(128, 128, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel.TrsmLowerLeftUnit(viewOf(l), viewOf(x))
+	}
+}
+
+func BenchmarkKernelRecursiveLU(b *testing.B) {
+	src := RandomMatrix(512, 128, 6)
+	piv := make([]int, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		work := src.Clone()
+		b.StartTimer()
+		if err := kernel.RecursiveLU(viewOf(work), piv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelGetf2(b *testing.B) {
+	src := RandomMatrix(512, 64, 7)
+	piv := make([]int, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		work := src.Clone()
+		b.StartTimer()
+		if err := kernel.Getf2(viewOf(work), piv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Simulator throughput (events/second of the DES engine itself).
+
+func BenchmarkSimulatorEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.FactorSim(4000, 4000, 100, 36, 3, sim.Config{
+			Machine: sim.AMDOpteron48(), Workers: 48, Layout: layout.BCL,
+			Policy: sched.NewHybrid(), Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+func TestFactorGEPPMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := mat.Random(96, 96, rng)
+	f, err := FactorGEPP(a, GEPPOptions{Block: 16, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := core.Residual(a, f); r > 1e-10 {
+		t.Fatalf("GEPP residual %g", r)
+	}
+}
+
+func TestFactorGEPPWithLookahead(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := mat.Random(80, 80, rng)
+	f, err := FactorGEPP(a, GEPPOptions{Block: 16, Workers: 4, Lookahead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := core.Residual(a, f); r > 1e-10 {
+		t.Fatalf("lookahead GEPP residual %g", r)
+	}
+}
+
+func TestFactorGEPPRectangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, s := range [][2]int{{100, 40}, {40, 100}, {50, 50}, {33, 57}} {
+		a := mat.Random(s[0], s[1], rng)
+		f, err := FactorGEPP(a, GEPPOptions{Block: 16, Workers: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if r := core.Residual(a, f); r > 1e-10 {
+			t.Errorf("%v: residual %g", s, r)
+		}
+	}
+}
+
+func TestFactorGEPPExactlyMatchesSequentialPivoting(t *testing.T) {
+	// GEPP is deterministic: the parallel DAG execution must produce
+	// exactly the same pivots as the sequential reference.
+	rng := rand.New(rand.NewSource(4))
+	a := mat.Random(64, 64, rng)
+	ref, err := core.ReferenceLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FactorGEPP(a, GEPPOptions{Block: 16, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Perm {
+		if ref.Perm[i] != f.Perm[i] {
+			t.Fatalf("pivoting differs from reference at row %d", i)
+		}
+	}
+	if mat.MaxAbsDiff(ref.U, f.U) > 1e-9 {
+		t.Fatal("U factors differ from the sequential reference")
+	}
+}
+
+func TestSolveIncPiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 96
+	a := mat.Random(n, n, rng)
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	for j := 0; j < n; j++ {
+		col := a.Col(j)
+		for i := 0; i < n; i++ {
+			b[i] += col[i] * xTrue[j]
+		}
+	}
+	x, solver, err := SolveIncPiv(a, b, IncPivOptions{Block: 16, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := core.SolveResidual(a, x, b); r > 1e-8 {
+		t.Fatalf("incpiv solve residual %g", r)
+	}
+	maxErr := 0.0
+	for i := range x {
+		maxErr = math.Max(maxErr, math.Abs(x[i]-xTrue[i]))
+	}
+	if maxErr > 1e-5 {
+		t.Fatalf("incpiv solution error %g", maxErr)
+	}
+	if solver.Stats.Total == 0 {
+		t.Fatal("no task stats recorded")
+	}
+}
+
+func TestSolveIncPivRaggedTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 50 // not a multiple of the tile size
+	a := mat.RandomDiagDominant(n, rng)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, _, err := SolveIncPiv(a, b, IncPivOptions{Block: 16, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := core.SolveResidual(a, x, b); r > 1e-8 {
+		t.Fatalf("ragged incpiv residual %g", r)
+	}
+}
+
+func TestSolveIncPivRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, _, err := SolveIncPiv(mat.Random(10, 8, rng), make([]float64, 10), IncPivOptions{}); err == nil {
+		t.Fatal("non-square A accepted")
+	}
+	if _, _, err := SolveIncPiv(mat.Random(8, 8, rng), make([]float64, 5), IncPivOptions{}); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+}
+
+func TestGEPPDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := mat.Random(40, 40, rng)
+	f, err := FactorGEPP(a, GEPPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := core.Residual(a, f); r > 1e-10 {
+		t.Fatalf("default options residual %g", r)
+	}
+}
+
+// Property: both baselines solve random diagonally dominant systems to
+// tight accuracy at random sizes, blocks and worker counts.
+func TestBaselinesSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + int(rng.Int31n(80))
+		a := mat.RandomDiagDominant(n, rng)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		blk := 8 + int(rng.Int31n(16))
+		w := 1 + int(rng.Int31n(4))
+		fac, err := FactorGEPP(a, GEPPOptions{Block: blk, Workers: w, Lookahead: seed%2 == 0})
+		if err != nil {
+			return false
+		}
+		xg, err := fac.Solve(b)
+		if err != nil || core.SolveResidual(a, xg, b) > 1e-9 {
+			return false
+		}
+		xi, _, err := SolveIncPiv(a, b, IncPivOptions{Block: blk, Workers: w})
+		if err != nil || core.SolveResidual(a, xi, b) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

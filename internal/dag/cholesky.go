@@ -1,0 +1,121 @@
+package dag
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/layout"
+)
+
+// CholeskyGraph is the task graph of tiled Cholesky factorization
+// (A = L*L^T, lower) under the same hybrid static/dynamic scheduling
+// machinery as CALU. The paper's conclusion (section 9) claims the
+// technique transfers to Cholesky; this builder realizes that
+// future-work item. Cholesky has no pivoting, so its "panel" is a
+// single POTRF tile and the hybrid split applies cleanly: tasks whose
+// output column is below NstaticCols are owner-pinned, the rest feed
+// the shared DFS queue.
+type CholeskyGraph struct {
+	*Graph
+	Layout layout.Layout
+}
+
+// BuildCholesky constructs the tiled Cholesky graph over the lower
+// triangle of the layout's matrix:
+//
+//	POTRF(k):   A_kk = L_kk L_kk^T
+//	TRSM(i,k):  A_ik <- A_ik L_kk^{-T}           (i > k)
+//	UPD(i,j,k): A_ij <- A_ij - A_ik A_jk^T       (k < j <= i)
+//
+// Kind mapping for scheduling/cost purposes: POTRF -> Final,
+// TRSM -> L, UPD -> S.
+func BuildCholesky(l layout.Layout, opt CALUOptions) *CholeskyGraph {
+	m, n, bsz := l.Dims()
+	if m != n {
+		panic(fmt.Sprintf("dag: cholesky needs a square matrix, got %dx%d", m, n))
+	}
+	mb, _ := l.Blocks()
+	workers := l.Grid().Workers()
+	b := newBuilder(fmt.Sprintf("Cholesky(%s,Nstatic=%d)", l.Kind(), opt.NstaticCols), workers)
+	cg := &CholeskyGraph{Graph: b.g, Layout: l}
+
+	isStatic := func(col int) bool { return col < opt.NstaticCols }
+	span := func(i int) int { return blockSpanOf(i, bsz, n) }
+
+	// prev[(i,j)] is the last writer of tile (i,j) (lower triangle only).
+	prev := map[[2]int]*Task{}
+	for k := 0; k < mb; k++ {
+		kk := k
+		bk := span(k)
+
+		potrf := b.add(&Task{
+			Kind: Final, K: k,
+			Owner:  l.Owner(k, k),
+			Static: isStatic(k),
+			Flops:  float64(bk) * float64(bk) * float64(bk) / 3,
+			Bytes:  8 * float64(bk) * float64(bk),
+			Prio:   priority(k, k, Final),
+		})
+		if !opt.SimOnly {
+			potrf.Run = func() {
+				if err := kernel.Potf2(l.Block(kk, kk)); err != nil {
+					panic(fmt.Sprintf("dag: POTRF step %d: %v", kk, err))
+				}
+			}
+		}
+		b.edge(prev[[2]int{k, k}], potrf)
+
+		trsm := make(map[int]*Task, mb-k-1)
+		for i := k + 1; i < mb; i++ {
+			ic := i
+			ri := span(i)
+			t := b.add(&Task{
+				Kind: L, K: k, I: i,
+				Owner:  l.Owner(i, k),
+				Static: isStatic(k),
+				Flops:  float64(ri) * float64(bk) * float64(bk),
+				Bytes:  8 * (float64(ri)*float64(bk) + float64(bk)*float64(bk)),
+				Prio:   priority(k, k, L),
+			})
+			if !opt.SimOnly {
+				t.Run = func() {
+					kernel.TrsmRightLowerTrans(l.Block(kk, kk), l.Block(ic, kk))
+				}
+			}
+			b.edge(potrf, t)
+			b.edge(prev[[2]int{i, k}], t)
+			trsm[i] = t
+			prev[[2]int{i, k}] = t
+		}
+
+		for j := k + 1; j < mb; j++ {
+			jc := j
+			cj := span(j)
+			for i := j; i < mb; i++ {
+				ic := i
+				ri := span(i)
+				t := b.add(&Task{
+					Kind: S, K: k, I: i, J: j,
+					Owner:  l.Owner(i, j),
+					Static: isStatic(j),
+					Flops:  2 * float64(ri) * float64(bk) * float64(cj),
+					Bytes:  8 * (float64(ri)*float64(bk) + float64(cj)*float64(bk) + float64(ri)*float64(cj)),
+					Prio:   priority(j, k, S),
+				})
+				if !opt.SimOnly {
+					t.Run = func() {
+						kernel.GemmNT(l.Block(ic, jc), l.Block(ic, kk), l.Block(jc, kk))
+					}
+				}
+				b.edge(trsm[i], t)
+				if i != j {
+					b.edge(trsm[j], t)
+				}
+				b.edge(prev[[2]int{i, j}], t)
+				prev[[2]int{i, j}] = t
+			}
+		}
+		prev[[2]int{k, k}] = potrf
+	}
+	return cg
+}

@@ -1,0 +1,261 @@
+// Package dag builds the task dependency graphs of the factorization
+// algorithms: CALU (the paper's algorithm, section 2/3), the MKL-style
+// GEPP baseline and the PLASMA-style incremental-pivoting baseline.
+//
+// A Graph is executed either by the real goroutine runtime
+// (internal/rt), which calls each task's Run closure to do actual
+// arithmetic on the layout's storage, or by the discrete-event
+// simulator (internal/sim), which ignores Run and charges the task's
+// Flops/Bytes to a machine model. Both consume the same dependency
+// structure and the same static/dynamic split, so the scheduling
+// behaviour under study is identical in the two modes.
+package dag
+
+import "fmt"
+
+// Kind labels a task with the paper's taxonomy (section 2): P tasks
+// participate in TSLU preprocessing, L/U compute the panel factors, S
+// updates the trailing matrix. The P work is split into tree leaves,
+// tree combines and the finalization that applies the winning pivots.
+type Kind uint8
+
+const (
+	// PLeaf runs GEPP on one chunk of panel rows to nominate candidates.
+	PLeaf Kind = iota
+	// PCombine merges two candidate sets in the tournament tree.
+	PCombine
+	// Final applies the winning swaps to the panel and factors the
+	// b x b pivot block (the end of task P in the paper's notation).
+	Final
+	// L computes L_IK = A_IK * U_KK^{-1} for one block row.
+	L
+	// U applies the step's row swaps to one block column and computes
+	// U_KJ = L_KK^{-1} A_KJ (the paper's "right swap" + task U).
+	U
+	// S updates trailing blocks: A_IJ -= L_IK * U_KJ, possibly grouped
+	// over several owned block columns (the k=3 grouping of section 3).
+	S
+)
+
+// String returns a short human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case PLeaf:
+		return "P-leaf"
+	case PCombine:
+		return "P-comb"
+	case Final:
+		return "F"
+	case L:
+		return "L"
+	case U:
+		return "U"
+	case S:
+		return "S"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// kindOrder breaks priority ties so panel-critical work runs first.
+func kindOrder(k Kind) int {
+	switch k {
+	case PLeaf:
+		return 0
+	case PCombine:
+		return 1
+	case Final:
+		return 2
+	case L:
+		return 3
+	case U:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// Task is one node of the dependency graph.
+type Task struct {
+	ID   int32
+	Kind Kind
+	// K is the panel step; I is the block row (L/S), chunk or tree index
+	// (P tasks); J is the leading block column (U/S).
+	K, I, J int
+	// Group lists every block row a grouped S task covers (the paper's
+	// k-way fusion of update blocks that share the same columns); nil
+	// means the task covers only block row I.
+	Group []int
+	// Owner is the worker that owns the task's output block under the
+	// 2D block-cyclic distribution; it is the task's data home for the
+	// locality model, and the queue it is pinned to when Static.
+	Owner int
+	// Static marks tasks in the first Nstatic panels (Algorithm 1).
+	Static bool
+	// Flops and Bytes drive the simulator's cost model.
+	Flops float64
+	Bytes float64
+	// Prio orders ready queues: ascending = left-to-right, panel first,
+	// which realizes both the look-ahead of the static section and the
+	// DFS traversal of Algorithm 2 in the dynamic section.
+	Prio int64
+	// Run performs the actual arithmetic (nil in baseline graphs built
+	// only for simulation).
+	Run func()
+
+	// NumDeps is the static in-degree; scheduling state (remaining
+	// dependency count) lives in the runtime, not here, so a Graph can
+	// be executed many times.
+	NumDeps int32
+	// Outs lists dependent task IDs.
+	Outs []int32
+}
+
+// Graph is an immutable task DAG plus bookkeeping shared by runtimes.
+type Graph struct {
+	Tasks []*Task
+	// Workers is the worker count the static distribution was built for.
+	Workers int
+	// Name describes the algorithm for traces and error messages.
+	Name string
+}
+
+// priority computes the global ordering key: column-major (left to
+// right), then by step, then by kind. col is the task's leading block
+// column (K for P/F/L tasks, J for U/S).
+func priority(col, k int, kind Kind) int64 {
+	return int64(col)<<32 | int64(k)<<8 | int64(kindOrder(kind))
+}
+
+// builder accumulates tasks and edges.
+type builder struct {
+	g *Graph
+}
+
+func newBuilder(name string, workers int) *builder {
+	return &builder{g: &Graph{Name: name, Workers: workers}}
+}
+
+func (b *builder) add(t *Task) *Task {
+	t.ID = int32(len(b.g.Tasks))
+	b.g.Tasks = append(b.g.Tasks, t)
+	return t
+}
+
+// edge makes `to` depend on `from`.
+func (b *builder) edge(from, to *Task) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Outs = append(from.Outs, to.ID)
+	to.NumDeps++
+}
+
+// Validate checks structural invariants: every edge target exists, the
+// graph is acyclic, and every task is reachable from the sources. It
+// returns an error describing the first violation.
+func (g *Graph) Validate() error {
+	n := len(g.Tasks)
+	indeg := make([]int32, n)
+	for id, t := range g.Tasks {
+		if int32(id) != t.ID {
+			return fmt.Errorf("dag: task %d stored at index %d", t.ID, id)
+		}
+		for _, o := range t.Outs {
+			if o < 0 || int(o) >= n {
+				return fmt.Errorf("dag: task %d has edge to missing task %d", t.ID, o)
+			}
+			indeg[o]++
+		}
+	}
+	for id, t := range g.Tasks {
+		if indeg[id] != t.NumDeps {
+			return fmt.Errorf("dag: task %d in-degree %d != NumDeps %d", id, indeg[id], t.NumDeps)
+		}
+	}
+	// Kahn's algorithm: if we cannot consume every task, there is a cycle.
+	queue := make([]int32, 0, n)
+	for id, t := range g.Tasks {
+		if t.NumDeps == 0 {
+			queue = append(queue, int32(id))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, o := range g.Tasks[id].Outs {
+			indeg[o]--
+			if indeg[o] == 0 {
+				queue = append(queue, o)
+			}
+		}
+	}
+	if seen != n {
+		return fmt.Errorf("dag: cycle detected, only %d of %d tasks schedulable", seen, n)
+	}
+	return nil
+}
+
+// Stats summarizes a graph for tests and reports.
+type Stats struct {
+	Total      int
+	ByKind     map[Kind]int
+	StaticTask int
+	DynTask    int
+	Edges      int
+	TotalFlops float64
+}
+
+// ComputeStats tallies task counts, the static/dynamic split and flops.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{ByKind: map[Kind]int{}}
+	for _, t := range g.Tasks {
+		s.Total++
+		s.ByKind[t.Kind]++
+		if t.Static {
+			s.StaticTask++
+		} else {
+			s.DynTask++
+		}
+		s.Edges += len(t.Outs)
+		s.TotalFlops += t.Flops
+	}
+	return s
+}
+
+// CriticalPathFlops returns the longest flop-weighted path through the
+// graph, the quantity T_criticalPath in the paper's section 6 model.
+func (g *Graph) CriticalPathFlops() float64 {
+	n := len(g.Tasks)
+	longest := make([]float64, n)
+	indeg := make([]int32, n)
+	for _, t := range g.Tasks {
+		indeg[t.ID] = t.NumDeps
+	}
+	queue := make([]int32, 0, n)
+	for _, t := range g.Tasks {
+		if t.NumDeps == 0 {
+			queue = append(queue, t.ID)
+			longest[t.ID] = t.Flops
+		}
+	}
+	best := 0.0
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if longest[id] > best {
+			best = longest[id]
+		}
+		for _, o := range g.Tasks[id].Outs {
+			if cand := longest[id] + g.Tasks[o].Flops; cand > longest[o] {
+				longest[o] = cand
+			}
+			indeg[o]--
+			if indeg[o] == 0 {
+				queue = append(queue, o)
+			}
+		}
+	}
+	return best
+}

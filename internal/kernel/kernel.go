@@ -1,0 +1,410 @@
+// Package kernel implements the sequential micro-BLAS and LAPACK-style
+// kernels that CALU and the baselines are built from: dgemm, dtrsm,
+// unblocked Gaussian elimination with partial pivoting (dgetf2),
+// Toledo's recursive LU, row interchanges (dlaswp) and small helpers.
+//
+// All routines operate on column-major storage described by a base
+// slice and a leading dimension (stride), so they work unchanged on
+// the column-major, block-cyclic and two-level block layouts in
+// internal/layout: each of those exposes blocks as strided views.
+//
+// The implementations favour clarity and cache-friendly loop orders
+// over platform-specific tuning; they are the correctness-bearing
+// kernels, while internal/sim models the performance of tuned BLAS.
+package kernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// View describes a column-major submatrix: element (i,j) is
+// Data[j*Stride+i]. It is the lingua franca between layouts and kernels.
+type View struct {
+	Rows   int
+	Cols   int
+	Stride int
+	Data   []float64
+}
+
+// At returns element (i,j) of the view (bounds unchecked; test helper).
+func (v View) At(i, j int) float64 { return v.Data[j*v.Stride+i] }
+
+// Set stores element (i,j) of the view (bounds unchecked; test helper).
+func (v View) Set(i, j int, x float64) { v.Data[j*v.Stride+i] = x }
+
+// Sub returns the view of rows [i0,i1) x cols [j0,j1).
+func (v View) Sub(i0, i1, j0, j1 int) View {
+	return View{Rows: i1 - i0, Cols: j1 - j0, Stride: v.Stride, Data: v.Data[j0*v.Stride+i0:]}
+}
+
+// blockK is the k-dimension blocking factor for Gemm. 64 columns of
+// 8-byte elements keep the streamed A panel inside L1/L2 on anything
+// resembling a modern core.
+const blockK = 64
+
+// Gemm computes C -= A * B (the only gemm variant dense LU needs:
+// alpha=-1, beta=1), with A m x k, B k x n, C m x n.
+//
+// The loop nest is j-k-i with the inner loop running down a column of
+// C and A, which is the unit-stride direction in column-major storage.
+// The k dimension is blocked so the active panel of A stays in cache.
+func Gemm(c, a, b View) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	if a.Rows != m || b.Rows != k || b.Cols != n {
+		panic(fmt.Sprintf("kernel: gemm shape mismatch C %dx%d, A %dx%d, B %dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for k0 := 0; k0 < k; k0 += blockK {
+		k1 := min(k0+blockK, k)
+		for j := 0; j < n; j++ {
+			cj := c.Data[j*c.Stride : j*c.Stride+m]
+			for l := k0; l < k1; l++ {
+				blj := b.Data[j*b.Stride+l]
+				if blj == 0 {
+					continue
+				}
+				al := a.Data[l*a.Stride : l*a.Stride+m]
+				axpy(cj, al, -blj)
+			}
+		}
+	}
+}
+
+// axpy computes y += alpha*x with 4-way unrolling.
+func axpy(y, x []float64, alpha float64) {
+	n := len(y)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// TrsmLowerLeftUnit solves L*X = B in place (B <- L^{-1} B), where L is
+// unit lower triangular n x n and B is n x m. This is the "task U"
+// kernel: U_KJ = L_KK^{-1} A_KJ.
+func TrsmLowerLeftUnit(l, b View) {
+	n, m := b.Rows, b.Cols
+	if l.Rows != n || l.Cols != n {
+		panic(fmt.Sprintf("kernel: trsmL shape mismatch L %dx%d, B %dx%d", l.Rows, l.Cols, n, m))
+	}
+	for j := 0; j < m; j++ {
+		bj := b.Data[j*b.Stride : j*b.Stride+n]
+		for k := 0; k < n; k++ {
+			bkj := bj[k]
+			if bkj == 0 {
+				continue
+			}
+			lk := l.Data[k*l.Stride:]
+			for i := k + 1; i < n; i++ {
+				bj[i] -= lk[i] * bkj
+			}
+		}
+	}
+}
+
+// TrsmUpperRight solves X*U = B in place (B <- B U^{-1}), where U is
+// upper triangular (non-unit) n x n and B is m x n. This is the
+// "task L" kernel: L_IK = A_IK U_KK^{-1}.
+func TrsmUpperRight(u, b View) {
+	m, n := b.Rows, b.Cols
+	if u.Rows != n || u.Cols != n {
+		panic(fmt.Sprintf("kernel: trsmU shape mismatch U %dx%d, B %dx%d", u.Rows, u.Cols, m, n))
+	}
+	for j := 0; j < n; j++ {
+		bj := b.Data[j*b.Stride : j*b.Stride+m]
+		// b_j -= sum_{k<j} b_k * u_kj
+		for k := 0; k < j; k++ {
+			ukj := u.Data[j*u.Stride+k]
+			if ukj == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+m]
+			axpy(bj, bk, -ukj)
+		}
+		ujj := u.Data[j*u.Stride+j]
+		if ujj == 0 {
+			panic("kernel: trsmU singular diagonal")
+		}
+		inv := 1 / ujj
+		for i := range bj {
+			bj[i] *= inv
+		}
+	}
+}
+
+// Getf2 computes an LU factorization with partial pivoting of the
+// m x n view a (m >= n expected for panels), unblocked right-looking.
+// On return a holds L (unit diagonal implicit) below and U on/above
+// the diagonal, and piv[k] records the row swapped with row k at step
+// k (LAPACK ipiv convention, 0-based). Returns an error only if the
+// matrix is exactly singular in a pivot column.
+func Getf2(a View, piv []int) error {
+	m, n := a.Rows, a.Cols
+	steps := min(m, n)
+	if len(piv) < steps {
+		panic("kernel: getf2 piv too short")
+	}
+	for k := 0; k < steps; k++ {
+		// Find pivot: largest |a(i,k)| for i >= k.
+		col := a.Data[k*a.Stride:]
+		p, vmax := k, math.Abs(col[k])
+		for i := k + 1; i < m; i++ {
+			if v := math.Abs(col[i]); v > vmax {
+				p, vmax = i, v
+			}
+		}
+		piv[k] = p
+		if vmax == 0 {
+			return fmt.Errorf("kernel: getf2 singular at column %d", k)
+		}
+		if p != k {
+			swapRows(a, k, p)
+		}
+		// Scale L column and update the trailing submatrix (rank-1).
+		akk := col[k]
+		inv := 1 / akk
+		for i := k + 1; i < m; i++ {
+			col[i] *= inv
+		}
+		for j := k + 1; j < n; j++ {
+			akj := a.Data[j*a.Stride+k]
+			if akj == 0 {
+				continue
+			}
+			cj := a.Data[j*a.Stride:]
+			for i := k + 1; i < m; i++ {
+				cj[i] -= col[i] * akj
+			}
+		}
+	}
+	return nil
+}
+
+// rluCrossover is the column count below which RecursiveLU falls back
+// to the unblocked kernel.
+const rluCrossover = 16
+
+// RecursiveLU computes the same factorization as Getf2 using Toledo's
+// recursive formulation, which the paper uses as the sequential panel
+// operator inside TSLU (section 3, "in our experiments we use
+// recursive LU"). piv uses the same convention as Getf2.
+func RecursiveLU(a View, piv []int) error {
+	m, n := a.Rows, a.Cols
+	steps := min(m, n)
+	if steps <= rluCrossover {
+		return Getf2(a, piv)
+	}
+	nl := steps / 2
+	left := a.Sub(0, m, 0, nl)
+	if err := RecursiveLU(left, piv[:nl]); err != nil {
+		return err
+	}
+	// Apply the left swaps to the right half, solve for U12, update A22.
+	right := a.Sub(0, m, nl, n)
+	for k := 0; k < nl; k++ {
+		if piv[k] != k {
+			swapRows(right, k, piv[k])
+		}
+	}
+	l11 := a.Sub(0, nl, 0, nl)
+	u12 := a.Sub(0, nl, nl, n)
+	TrsmLowerLeftUnit(l11, u12)
+	a21 := a.Sub(nl, m, 0, nl)
+	a22 := a.Sub(nl, m, nl, n)
+	Gemm(a22, a21, u12)
+	if err := RecursiveLU(a22, piv[nl:steps]); err != nil {
+		return err
+	}
+	// Offset the recursion's pivots and apply them to the left half.
+	l21 := a.Sub(nl, m, 0, nl)
+	for k := nl; k < steps; k++ {
+		piv[k] += nl
+		if piv[k] != k {
+			swapRows(l21, k-nl, piv[k]-nl)
+		}
+	}
+	return nil
+}
+
+// swapRows exchanges rows r1 and r2 across all columns of v.
+func swapRows(v View, r1, r2 int) {
+	for j := 0; j < v.Cols; j++ {
+		off := j * v.Stride
+		v.Data[off+r1], v.Data[off+r2] = v.Data[off+r2], v.Data[off+r1]
+	}
+}
+
+// Laswp applies the row interchanges piv[k0:k1] (Getf2 convention) to
+// v, forward order. Used to replay panel pivoting on other column
+// blocks.
+func Laswp(v View, piv []int, k0, k1 int) {
+	for k := k0; k < k1; k++ {
+		if piv[k] != k {
+			swapRows(v, k, piv[k])
+		}
+	}
+}
+
+// LaswpInverse applies the interchanges in reverse order, undoing Laswp.
+func LaswpInverse(v View, piv []int, k0, k1 int) {
+	for k := k1 - 1; k >= k0; k-- {
+		if piv[k] != k {
+			swapRows(v, k, piv[k])
+		}
+	}
+}
+
+// GetrfNoPiv factors the n x n view without pivoting (used on the b x b
+// pivot block after tournament pivoting has moved the chosen rows into
+// place). Returns an error on a zero diagonal.
+func GetrfNoPiv(a View) error {
+	n := min(a.Rows, a.Cols)
+	for k := 0; k < n; k++ {
+		akk := a.Data[k*a.Stride+k]
+		if akk == 0 {
+			return fmt.Errorf("kernel: no-pivot LU zero diagonal at %d", k)
+		}
+		inv := 1 / akk
+		col := a.Data[k*a.Stride:]
+		for i := k + 1; i < a.Rows; i++ {
+			col[i] *= inv
+		}
+		for j := k + 1; j < a.Cols; j++ {
+			akj := a.Data[j*a.Stride+k]
+			if akj == 0 {
+				continue
+			}
+			cj := a.Data[j*a.Stride:]
+			for i := k + 1; i < a.Rows; i++ {
+				cj[i] -= col[i] * akj
+			}
+		}
+	}
+	return nil
+}
+
+// IdamaxCol returns the index (>= i0) of the entry with the largest
+// absolute value in column j of v.
+func IdamaxCol(v View, j, i0 int) int {
+	col := v.Data[j*v.Stride:]
+	p, vmax := i0, math.Abs(col[i0])
+	for i := i0 + 1; i < v.Rows; i++ {
+		if x := math.Abs(col[i]); x > vmax {
+			p, vmax = i, x
+		}
+	}
+	return p
+}
+
+// Copy copies src into dst element-wise; shapes must match.
+func Copy(dst, src View) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("kernel: copy shape mismatch %dx%d <- %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	for j := 0; j < src.Cols; j++ {
+		copy(dst.Data[j*dst.Stride:j*dst.Stride+dst.Rows], src.Data[j*src.Stride:j*src.Stride+src.Rows])
+	}
+}
+
+// NormMax returns max |v_ij| over the view.
+func NormMax(v View) float64 {
+	m := 0.0
+	for j := 0; j < v.Cols; j++ {
+		for i := 0; i < v.Rows; i++ {
+			if x := math.Abs(v.Data[j*v.Stride+i]); x > m {
+				m = x
+			}
+		}
+	}
+	return m
+}
+
+// Potf2 computes the unblocked Cholesky factorization A = L*L^T of the
+// symmetric positive definite n x n view (lower triangle referenced),
+// storing L in the lower triangle. Returns an error if a non-positive
+// pivot shows that the matrix is not positive definite.
+func Potf2(a View) error {
+	n := a.Rows
+	if a.Cols != n {
+		panic(fmt.Sprintf("kernel: potf2 needs square input, got %dx%d", n, a.Cols))
+	}
+	for k := 0; k < n; k++ {
+		akk := a.Data[k*a.Stride+k]
+		for j := 0; j < k; j++ {
+			v := a.Data[j*a.Stride+k]
+			akk -= v * v
+		}
+		if akk <= 0 {
+			return fmt.Errorf("kernel: potf2 non-positive pivot %g at %d", akk, k)
+		}
+		akk = math.Sqrt(akk)
+		a.Data[k*a.Stride+k] = akk
+		inv := 1 / akk
+		for i := k + 1; i < n; i++ {
+			s := a.Data[k*a.Stride+i]
+			for j := 0; j < k; j++ {
+				s -= a.Data[j*a.Stride+i] * a.Data[j*a.Stride+k]
+			}
+			a.Data[k*a.Stride+i] = s * inv
+		}
+	}
+	return nil
+}
+
+// TrsmRightLowerTrans solves X * L^T = B in place (B <- B L^{-T}), with
+// L lower triangular non-unit n x n and B m x n — the TRSM variant of
+// the tiled Cholesky panel.
+func TrsmRightLowerTrans(l, b View) {
+	m, n := b.Rows, b.Cols
+	if l.Rows != n || l.Cols != n {
+		panic(fmt.Sprintf("kernel: trsmRLT shape mismatch L %dx%d, B %dx%d", l.Rows, l.Cols, m, n))
+	}
+	for j := 0; j < n; j++ {
+		bj := b.Data[j*b.Stride : j*b.Stride+m]
+		for k := 0; k < j; k++ {
+			ljk := l.Data[k*l.Stride+j] // L[j,k]
+			if ljk == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+m]
+			axpy(bj, bk, -ljk)
+		}
+		ljj := l.Data[j*l.Stride+j]
+		if ljj == 0 {
+			panic("kernel: trsmRLT singular diagonal")
+		}
+		inv := 1 / ljj
+		for i := range bj {
+			bj[i] *= inv
+		}
+	}
+}
+
+// GemmNT computes C -= A * B^T with A m x k, B n x k, C m x n — the
+// symmetric-update kernel of tiled Cholesky (SYRK/GEMM applied to the
+// lower triangle blockwise).
+func GemmNT(c, a, b View) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	if a.Rows != m || b.Rows != n || b.Cols != k {
+		panic(fmt.Sprintf("kernel: gemmNT shape mismatch C %dx%d, A %dx%d, B %dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for j := 0; j < n; j++ {
+		cj := c.Data[j*c.Stride : j*c.Stride+m]
+		for l := 0; l < k; l++ {
+			bjl := b.Data[l*b.Stride+j]
+			if bjl == 0 {
+				continue
+			}
+			al := a.Data[l*a.Stride : l*a.Stride+m]
+			axpy(cj, al, -bjl)
+		}
+	}
+}

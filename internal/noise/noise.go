@@ -1,0 +1,179 @@
+// Package noise provides deterministic generators of transient "excess
+// work" — the paper's delta_i (section 6): OS daemons, interrupts and
+// other system events that steal cycles from a core at unpredictable
+// times. The generators are seeded so simulated experiments are exactly
+// reproducible, and an adapter injects the same distributions into real
+// goroutine runs for failure-injection tests.
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Generator yields the extra delay a core suffers while executing a
+// task of duration dur starting at time start (virtual seconds). A
+// Generator is owned by a single simulation; Reset re-seeds it.
+type Generator interface {
+	// Delay returns the excess seconds appended to the task execution.
+	Delay(core int, start, dur float64) float64
+	// Reset re-seeds all per-core streams.
+	Reset(seed int64)
+}
+
+// None is the silent generator.
+type None struct{}
+
+// Delay implements Generator; it always returns zero.
+func (None) Delay(core int, start, dur float64) float64 { return 0 }
+
+// Reset implements Generator.
+func (None) Reset(seed int64) {}
+
+// Poisson models noise bursts arriving as a Poisson process on each
+// core (rate bursts/second) with exponentially distributed burst
+// lengths (mean seconds) — the standard model for asynchronous OS
+// interference, and the one the paper's delta analysis assumes when it
+// speaks of transient load imbalance occurring with some probability.
+type Poisson struct {
+	Rate float64 // bursts per second per core
+	Mean float64 // mean burst length, seconds
+	rngs []*rand.Rand
+	seed int64
+}
+
+// NewPoisson returns a seeded Poisson noise generator.
+func NewPoisson(rate, mean float64, seed int64) *Poisson {
+	p := &Poisson{Rate: rate, Mean: mean}
+	p.Reset(seed)
+	return p
+}
+
+// Reset implements Generator.
+func (p *Poisson) Reset(seed int64) {
+	p.seed = seed
+	p.rngs = nil
+}
+
+func (p *Poisson) rng(core int) *rand.Rand {
+	for len(p.rngs) <= core {
+		p.rngs = append(p.rngs, rand.New(rand.NewSource(p.seed+int64(len(p.rngs))*7919+1)))
+	}
+	return p.rngs[core]
+}
+
+// Delay implements Generator: the number of bursts in dur is Poisson
+// with mean Rate*dur; each burst adds Exp(Mean) seconds.
+func (p *Poisson) Delay(core int, start, dur float64) float64 {
+	if p.Rate <= 0 || p.Mean <= 0 || dur <= 0 {
+		return 0
+	}
+	r := p.rng(core)
+	lambda := p.Rate * dur
+	// Sample Poisson via inversion for small lambda (always the case
+	// for task-sized intervals), falling back to normal approximation.
+	var k int
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		pp := 1.0
+		for {
+			pp *= r.Float64()
+			if pp <= l {
+				break
+			}
+			k++
+		}
+	} else {
+		k = int(lambda + math.Sqrt(lambda)*r.NormFloat64() + 0.5)
+		if k < 0 {
+			k = 0
+		}
+	}
+	total := 0.0
+	for i := 0; i < k; i++ {
+		total += r.ExpFloat64() * p.Mean
+	}
+	return total
+}
+
+// Daemon models a periodic system daemon: every Period seconds the core
+// loses Burst seconds, with per-core phase offsets so daemons do not
+// fire in lockstep across the machine.
+type Daemon struct {
+	Period float64
+	Burst  float64
+	seed   int64
+	phase  []float64
+}
+
+// NewDaemon returns a seeded periodic-daemon generator.
+func NewDaemon(period, burst float64, seed int64) *Daemon {
+	d := &Daemon{Period: period, Burst: burst}
+	d.Reset(seed)
+	return d
+}
+
+// Reset implements Generator.
+func (d *Daemon) Reset(seed int64) {
+	d.seed = seed
+	d.phase = nil
+}
+
+func (d *Daemon) corePhase(core int) float64 {
+	for len(d.phase) <= core {
+		r := rand.New(rand.NewSource(d.seed + int64(len(d.phase))*104729 + 3))
+		d.phase = append(d.phase, r.Float64()*d.Period)
+	}
+	return d.phase[core]
+}
+
+// Delay implements Generator: counts the daemon firings inside
+// [start, start+dur) for this core's phase.
+func (d *Daemon) Delay(core int, start, dur float64) float64 {
+	if d.Period <= 0 || d.Burst <= 0 || dur <= 0 {
+		return 0
+	}
+	ph := d.corePhase(core)
+	// Firings at ph, ph+Period, ph+2*Period, ...
+	first := math.Ceil((start - ph) / d.Period)
+	if first < 0 {
+		first = 0
+	}
+	count := 0
+	for t := ph + first*d.Period; t < start+dur; t += d.Period {
+		if t >= start {
+			count++
+		}
+	}
+	return float64(count) * d.Burst
+}
+
+// Scaled wraps a generator and multiplies its delays, used for the
+// exascale noise-amplification projections of section 7.
+type Scaled struct {
+	Inner  Generator
+	Factor float64
+}
+
+// Delay implements Generator.
+func (s Scaled) Delay(core int, start, dur float64) float64 {
+	return s.Factor * s.Inner.Delay(core, start, dur)
+}
+
+// Reset implements Generator.
+func (s Scaled) Reset(seed int64) { s.Inner.Reset(seed) }
+
+// RealAdapter converts a Generator into the callback signature of the
+// real runtime (internal/rt): it samples the generator with the given
+// characteristic task duration and returns wall-clock delays. Used for
+// failure injection in real-mode tests.
+func RealAdapter(g Generator, taskDur time.Duration) func(worker int) time.Duration {
+	t := 0.0
+	d := taskDur.Seconds()
+	return func(worker int) time.Duration {
+		extra := g.Delay(worker, t, d)
+		t += d
+		return time.Duration(extra * float64(time.Second))
+	}
+}

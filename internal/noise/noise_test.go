@@ -1,0 +1,110 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNoneIsSilent(t *testing.T) {
+	var g None
+	if g.Delay(0, 0, 1) != 0 {
+		t.Fatal("None must be silent")
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a := NewPoisson(100, 1e-3, 7)
+	b := NewPoisson(100, 1e-3, 7)
+	for i := 0; i < 100; i++ {
+		da := a.Delay(i%4, float64(i), 0.01)
+		db := b.Delay(i%4, float64(i), 0.01)
+		if da != db {
+			t.Fatalf("same seed diverged at %d: %g vs %g", i, da, db)
+		}
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	g := NewPoisson(50, 200e-6, 3)
+	total := 0.0
+	samples := 4000
+	for i := 0; i < samples; i++ {
+		total += g.Delay(0, 0, 0.01)
+	}
+	// Expected extra per 10ms interval: 50*0.01*200e-6 = 100us.
+	mean := total / float64(samples)
+	if mean < 50e-6 || mean > 200e-6 {
+		t.Fatalf("poisson mean delay %g far from 100us", mean)
+	}
+}
+
+func TestPoissonZeroConfig(t *testing.T) {
+	g := NewPoisson(0, 0, 1)
+	if g.Delay(0, 0, 1) != 0 {
+		t.Fatal("zero-rate poisson must be silent")
+	}
+}
+
+func TestPoissonPerCoreStreamsIndependent(t *testing.T) {
+	g := NewPoisson(1000, 1e-4, 11)
+	same := true
+	for i := 0; i < 10; i++ {
+		if g.Delay(0, 0, 0.01) != g.Delay(1, 0, 0.01) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("cores share a noise stream")
+	}
+}
+
+func TestDaemonPeriodicity(t *testing.T) {
+	g := NewDaemon(0.01, 1e-3, 5)
+	// Over one second a core must suffer ~100 bursts of 1ms.
+	total := g.Delay(2, 0, 1.0)
+	if math.Abs(total-0.1) > 0.011 {
+		t.Fatalf("daemon delay over 1s = %g want ~0.1", total)
+	}
+}
+
+func TestDaemonOutsideWindow(t *testing.T) {
+	g := NewDaemon(1000, 1, 5) // fires every 1000s
+	if d := g.Delay(0, 0, 0.5); d != 0 {
+		// The phase is random in [0,1000); overwhelmingly no firing in
+		// the first 0.5s unless phase < 0.5 — check determinism instead.
+		if d != g.Delay(0, 0, 0.5)+d-d {
+			t.Fatal("daemon nondeterministic")
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	base := NewDaemon(0.01, 1e-3, 5)
+	s := Scaled{Inner: NewDaemon(0.01, 1e-3, 5), Factor: 3}
+	if math.Abs(s.Delay(0, 0, 1)-3*base.Delay(0, 0, 1)) > 1e-12 {
+		t.Fatal("scaled generator must multiply delays")
+	}
+}
+
+func TestResetReproduces(t *testing.T) {
+	g := NewPoisson(100, 1e-3, 9)
+	first := g.Delay(0, 0, 0.01)
+	g.Delay(0, 0.01, 0.01)
+	g.Reset(9)
+	if g.Delay(0, 0, 0.01) != first {
+		t.Fatal("reset did not restore the stream")
+	}
+}
+
+func TestRealAdapter(t *testing.T) {
+	fn := RealAdapter(NewDaemon(0.001, 1e-3, 1), time.Millisecond)
+	var total time.Duration
+	for i := 0; i < 100; i++ {
+		total += fn(0)
+	}
+	// Period 1ms, burst 1ms, task 1ms: roughly one burst per call.
+	if total < 50*time.Millisecond || total > 150*time.Millisecond {
+		t.Fatalf("adapter total %v far from ~100ms", total)
+	}
+}

@@ -1,0 +1,185 @@
+// Package piv implements tournament pivoting, the pivot-selection
+// strategy of communication-avoiding LU (the TSLU preprocessing step of
+// section 2). A panel of b columns is split row-wise into chunks; each
+// chunk nominates its b best rows via Gaussian elimination with partial
+// pivoting, and a binary reduction tree of further GEPP contests picks
+// the final b pivot rows for the whole panel. The reduction operator
+// is GEPP on the stacked candidates, with Toledo's recursive LU as the
+// sequential algorithm, exactly as the paper does.
+package piv
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// Candidate is one contestant in the tournament: up to b rows of
+// original (unfactored) panel values together with their global row
+// indices.
+type Candidate struct {
+	Vals *mat.Dense // Rows x panelWidth original values of the candidate rows
+	IDs  []int      // global row index of each candidate row
+}
+
+// Select runs GEPP on vals (a copy is factored; vals is left untouched)
+// and returns the candidate holding the top min(b, rows) pivot rows.
+// ids[i] is the global row index of vals row i.
+func Select(vals *mat.Dense, ids []int, b int) (Candidate, error) {
+	r, c := vals.Rows, vals.Cols
+	if len(ids) != r {
+		panic(fmt.Sprintf("piv: ids length %d != rows %d", len(ids), r))
+	}
+	steps := min(r, c)
+	work := vals.Clone()
+	pivots := make([]int, steps)
+	err := kernel.RecursiveLU(kernel.View{Rows: r, Cols: c, Stride: work.Stride, Data: work.Data}, pivots)
+	if err != nil {
+		// A structurally singular chunk can still contribute rows: fall
+		// back to whatever prefix GEPP established before failing.
+		return Candidate{}, fmt.Errorf("piv: candidate selection failed: %w", err)
+	}
+	// Replay the swap sequence on the local index permutation.
+	p := make([]int, r)
+	for i := range p {
+		p[i] = i
+	}
+	for k, q := range pivots {
+		p[k], p[q] = p[q], p[k]
+	}
+	take := min(b, r)
+	out := Candidate{Vals: mat.New(take, c), IDs: make([]int, take)}
+	for t := 0; t < take; t++ {
+		src := p[t]
+		out.IDs[t] = ids[src]
+		for j := 0; j < c; j++ {
+			out.Vals.Set(t, j, vals.At(src, j))
+		}
+	}
+	return out, nil
+}
+
+// Combine plays one reduction-tree game: the rows of both candidates
+// are stacked and GEPP picks the top min(b, total) of them.
+func Combine(a, b Candidate, bsize int) (Candidate, error) {
+	if a.Vals == nil {
+		return b, nil
+	}
+	if b.Vals == nil {
+		return a, nil
+	}
+	if a.Vals.Cols != b.Vals.Cols {
+		panic(fmt.Sprintf("piv: combine width mismatch %d vs %d", a.Vals.Cols, b.Vals.Cols))
+	}
+	ra, rb := a.Vals.Rows, b.Vals.Rows
+	stack := mat.New(ra+rb, a.Vals.Cols)
+	stack.Slice(0, ra, 0, stack.Cols).CopyFrom(a.Vals)
+	stack.Slice(ra, ra+rb, 0, stack.Cols).CopyFrom(b.Vals)
+	ids := make([]int, 0, ra+rb)
+	ids = append(ids, a.IDs...)
+	ids = append(ids, b.IDs...)
+	return Select(stack, ids, bsize)
+}
+
+// Tournament reduces a slice of candidates with a binary tree (the
+// communication-minimizing shape the paper uses) and returns the global
+// row indices of the winning pivot rows, best first.
+func Tournament(cands []Candidate, bsize int) ([]int, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("piv: empty tournament")
+	}
+	round := cands
+	for len(round) > 1 {
+		next := make([]Candidate, 0, (len(round)+1)/2)
+		for i := 0; i < len(round); i += 2 {
+			if i+1 == len(round) {
+				next = append(next, round[i])
+				continue
+			}
+			c, err := Combine(round[i], round[i+1], bsize)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, c)
+		}
+		round = next
+	}
+	return round[0].IDs, nil
+}
+
+// Swaps converts the winning pivot rows into the sequence of global row
+// interchanges that moves pivIDs[t] to row base+t, in order. The
+// sequence is applied lazily, block column by block column, by the F
+// and U tasks (the paper's "right swap"), and to the left part of L at
+// the very end (Algorithm 1, line 43).
+func Swaps(pivIDs []int, base int) [][2]int {
+	where := make(map[int]int, len(pivIDs)) // row id -> current row
+	occ := make(map[int]int, len(pivIDs))   // row -> id currently living there
+	loc := func(id int) int {
+		if w, ok := where[id]; ok {
+			return w
+		}
+		return id
+	}
+	at := func(row int) int {
+		if id, ok := occ[row]; ok {
+			return id
+		}
+		return row
+	}
+	var swaps [][2]int
+	for t, id := range pivIDs {
+		dst := base + t
+		src := loc(id)
+		if src == dst {
+			continue
+		}
+		swaps = append(swaps, [2]int{dst, src})
+		displaced := at(dst)
+		occ[src] = displaced
+		where[displaced] = src
+		occ[dst] = id
+		where[id] = dst
+	}
+	return swaps
+}
+
+// ApplySwapsToPerm replays a swap sequence on a row-permutation vector
+// (perm[i] = original index of the row now living at i).
+func ApplySwapsToPerm(perm []int, swaps [][2]int) {
+	for _, s := range swaps {
+		perm[s[0]], perm[s[1]] = perm[s[1]], perm[s[0]]
+	}
+}
+
+// ChunkRows partitions the panel rows base..m-1 into at most maxChunks
+// contiguous chunks of at least b rows each (a chunk must be able to
+// nominate b candidates, except when fewer rows remain in total).
+// Returns the half-open global row ranges.
+func ChunkRows(base, m, b, maxChunks int) [][2]int {
+	rows := m - base
+	if rows <= 0 {
+		return nil
+	}
+	nc := maxChunks
+	if nc < 1 {
+		nc = 1
+	}
+	if nc > (rows+b-1)/b {
+		nc = (rows + b - 1) / b
+	}
+	per := rows / nc
+	rem := rows % nc
+	out := make([][2]int, 0, nc)
+	start := base
+	for i := 0; i < nc; i++ {
+		sz := per
+		if i < rem {
+			sz++
+		}
+		out = append(out, [2]int{start, start + sz})
+		start += sz
+	}
+	return out
+}

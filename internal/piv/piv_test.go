@@ -1,0 +1,250 @@
+package piv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func ids(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+func TestSelectPicksLargestSingleColumn(t *testing.T) {
+	vals := mat.New(5, 1)
+	for i, v := range []float64{1, -7, 3, 2, 5} {
+		vals.Set(i, 0, v)
+	}
+	c, err := Select(vals, ids(100, 105), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.IDs) != 1 || c.IDs[0] != 101 {
+		t.Fatalf("selected %v want [101] (largest magnitude)", c.IDs)
+	}
+	if c.Vals.At(0, 0) != -7 {
+		t.Fatal("candidate must carry original values")
+	}
+}
+
+func TestSelectLeavesInputUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := mat.Random(10, 4, rng)
+	orig := vals.Clone()
+	if _, err := Select(vals, ids(0, 10), 4); err != nil {
+		t.Fatal(err)
+	}
+	if mat.MaxAbsDiff(vals, orig) != 0 {
+		t.Fatal("Select must not modify its input")
+	}
+}
+
+func TestSelectFewerRowsThanB(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := mat.Random(3, 4, rng)
+	c, err := Select(vals, ids(7, 10), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.IDs) != 3 {
+		t.Fatalf("want all 3 rows as candidates, got %d", len(c.IDs))
+	}
+}
+
+func TestCombineKeepsBestOfBoth(t *testing.T) {
+	// One candidate has a huge row; it must survive the combine.
+	a := mat.New(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1)
+	b := mat.New(2, 2)
+	b.Set(0, 0, 1000)
+	b.Set(0, 1, 1)
+	b.Set(1, 1, 2)
+	ca := Candidate{Vals: a, IDs: []int{10, 11}}
+	cb := Candidate{Vals: b, IDs: []int{20, 21}}
+	got, err := Combine(ca, cb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range got.IDs {
+		if id == 20 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dominant row 20 lost in combine: %v", got.IDs)
+	}
+}
+
+func TestCombineWithEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := mat.Random(2, 2, rng)
+	c := Candidate{Vals: vals, IDs: []int{1, 2}}
+	got, err := Combine(Candidate{}, c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.IDs) != 2 || got.IDs[0] != 1 {
+		t.Fatal("combine with empty must return the non-empty side")
+	}
+}
+
+func TestTournamentMatchesDirectGEPPPivotQuality(t *testing.T) {
+	// Tournament pivoting need not pick the same rows as GEPP, but the
+	// pivot block it selects must be far from singular on random input.
+	rng := rand.New(rand.NewSource(4))
+	b := 4
+	panel := mat.Random(32, b, rng)
+	var cands []Candidate
+	for c := 0; c < 4; c++ {
+		chunk := panel.Slice(c*8, (c+1)*8, 0, b)
+		cand, err := Select(chunk, ids(c*8, (c+1)*8), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands = append(cands, cand)
+	}
+	winners, err := Tournament(cands, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(winners) != b {
+		t.Fatalf("want %d winners, got %d", b, len(winners))
+	}
+	seen := map[int]bool{}
+	for _, w := range winners {
+		if w < 0 || w >= 32 || seen[w] {
+			t.Fatalf("invalid winner set %v", winners)
+		}
+		seen[w] = true
+	}
+}
+
+func TestTournamentSingleCandidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := mat.Random(6, 3, rng)
+	c, err := Select(vals, ids(0, 6), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Tournament([]Candidate{c}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 3 {
+		t.Fatal("single-candidate tournament must return the candidate ids")
+	}
+}
+
+func TestTournamentEmpty(t *testing.T) {
+	if _, err := Tournament(nil, 3); err == nil {
+		t.Fatal("expected error for empty tournament")
+	}
+}
+
+func TestSwapsMovesPivotsIntoPlace(t *testing.T) {
+	// Pivot rows 7, 3, 9 should land at rows 2, 3, 4 (base=2).
+	swaps := Swaps([]int{7, 3, 9}, 2)
+	order := ids(0, 10)
+	ApplySwapsToPerm(order, swaps)
+	if order[2] != 7 || order[3] != 3 || order[4] != 9 {
+		t.Fatalf("after swaps rows are %v", order[:5])
+	}
+}
+
+func TestSwapsIdentityWhenAlreadyPlaced(t *testing.T) {
+	if got := Swaps([]int{5, 6, 7}, 5); len(got) != 0 {
+		t.Fatalf("expected no swaps, got %v", got)
+	}
+}
+
+func TestSwapsChained(t *testing.T) {
+	// Pivot for slot 0 displaces a row that is itself a later pivot.
+	swaps := Swaps([]int{1, 0}, 0)
+	order := ids(0, 3)
+	ApplySwapsToPerm(order, swaps)
+	if order[0] != 1 || order[1] != 0 {
+		t.Fatalf("chained displacement broken: %v", order)
+	}
+}
+
+func TestChunkRows(t *testing.T) {
+	chunks := ChunkRows(4, 36, 4, 4)
+	if len(chunks) != 4 {
+		t.Fatalf("want 4 chunks got %v", chunks)
+	}
+	if chunks[0][0] != 4 || chunks[3][1] != 36 {
+		t.Fatalf("chunks must cover [4,36): %v", chunks)
+	}
+	total := 0
+	for _, c := range chunks {
+		total += c[1] - c[0]
+	}
+	if total != 32 {
+		t.Fatalf("chunks cover %d rows want 32", total)
+	}
+}
+
+func TestChunkRowsFewRows(t *testing.T) {
+	// Only 6 rows with b=4: at most ceil(6/4)=2 chunks even if 8 requested.
+	chunks := ChunkRows(0, 6, 4, 8)
+	if len(chunks) != 2 {
+		t.Fatalf("want 2 chunks got %v", chunks)
+	}
+}
+
+func TestChunkRowsEmpty(t *testing.T) {
+	if got := ChunkRows(10, 10, 4, 4); got != nil {
+		t.Fatalf("want nil for empty range, got %v", got)
+	}
+}
+
+// Property: tournament pivoting over random chunkings always yields a
+// set of b distinct rows whose pivot block is invertible enough that
+// the no-pivot LU of the reordered panel succeeds with bounded growth.
+func TestTournamentPivotBlockInvertibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := 2 + int(rng.Int31n(4))
+		rows := b * (2 + int(rng.Int31n(6)))
+		panel := mat.Random(rows, b, rng)
+		nchunks := 1 + int(rng.Int31n(4))
+		chunks := ChunkRows(0, rows, b, nchunks)
+		var cands []Candidate
+		for _, ch := range chunks {
+			c, err := Select(panel.Slice(ch[0], ch[1], 0, b), ids(ch[0], ch[1]), b)
+			if err != nil {
+				return false
+			}
+			cands = append(cands, c)
+		}
+		winners, err := Tournament(cands, b)
+		if err != nil || len(winners) != b {
+			return false
+		}
+		// The pivot block must be well conditioned enough to factor.
+		blockVals := mat.New(b, b)
+		for t2, r := range winners {
+			for j := 0; j < b; j++ {
+				blockVals.Set(t2, j, panel.At(r, j))
+			}
+		}
+		// Crude invertibility check via GEPP on the pivot block.
+		c2, err := Select(blockVals, ids(0, b), b)
+		if err != nil {
+			return false
+		}
+		return len(c2.IDs) == b && !math.IsNaN(blockVals.NormMax())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package rt executes a task dependency graph with real goroutine
+// workers, performing the actual factorization arithmetic on the
+// layout's storage. It drives a sched.Policy under one lock, mirroring
+// the discrete-event simulator in internal/sim so that the scheduling
+// decisions under study are identical in both modes; rt is the
+// correctness-bearing mode (numerics verified end to end) and the mode
+// the examples and the tuning CLI run in.
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Options configures a real execution.
+type Options struct {
+	// Workers is the goroutine count; must be >= 1.
+	Workers int
+	// Trace, when non-nil, receives one span per executed task.
+	Trace *trace.Trace
+	// Noise, when non-nil, is invoked after each task completion with
+	// the worker id and returns an artificial delay to inject — the
+	// failure-injection hook used to emulate transient OS interference
+	// (the paper's delta_i) in real mode.
+	Noise func(worker int) time.Duration
+}
+
+// Result reports a real execution.
+type Result struct {
+	Makespan time.Duration
+	Counters sched.Counters
+}
+
+// Run executes g to completion under the given policy and returns the
+// wall-clock makespan. It panics on a structurally stuck graph (a bug
+// in the DAG builder), because no caller can make progress from that.
+func Run(g *dag.Graph, pol sched.Policy, opt Options) (Result, error) {
+	if opt.Workers < 1 {
+		return Result{}, fmt.Errorf("rt: need at least one worker, got %d", opt.Workers)
+	}
+	n := len(g.Tasks)
+	if n == 0 {
+		return Result{}, nil
+	}
+	pol.Reset(g, opt.Workers)
+
+	remaining := make([]int32, n)
+	for i, t := range g.Tasks {
+		remaining[i] = t.NumDeps
+	}
+
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	completed := 0
+	executing := 0
+	var stuck error
+
+	for _, t := range g.Tasks {
+		if t.NumDeps == 0 {
+			pol.Ready(t)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				var t *dag.Task
+				for {
+					if completed == n || stuck != nil {
+						mu.Unlock()
+						return
+					}
+					t = pol.Next(worker)
+					if t != nil {
+						break
+					}
+					if executing == 0 && pol.ReadyCount() == 0 {
+						// Nothing running, nothing ready, graph unfinished:
+						// the dependency structure is broken.
+						stuck = fmt.Errorf("rt: graph %q stuck with %d/%d tasks done", g.Name, completed, n)
+						cond.Broadcast()
+						mu.Unlock()
+						return
+					}
+					cond.Wait()
+				}
+				executing++
+				mu.Unlock()
+
+				t0 := time.Since(start).Seconds()
+				if t.Run != nil {
+					if err := runTask(t); err != nil {
+						mu.Lock()
+						if stuck == nil {
+							stuck = err
+						}
+						executing--
+						cond.Broadcast()
+						mu.Unlock()
+						return
+					}
+				}
+				t1 := time.Since(start).Seconds()
+				if opt.Trace != nil {
+					opt.Trace.Add(worker, t.ID, trace.KindLabel(t.Kind.String()), t0, t1)
+				}
+				if opt.Noise != nil {
+					if d := opt.Noise(worker); d > 0 {
+						spinFor(d)
+						if opt.Trace != nil {
+							opt.Trace.Add(worker, -1, 'N', t1, time.Since(start).Seconds())
+						}
+					}
+				}
+
+				mu.Lock()
+				executing--
+				completed++
+				for _, o := range t.Outs {
+					remaining[o]--
+					if remaining[o] == 0 {
+						pol.Ready(g.Tasks[o])
+					}
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if stuck != nil {
+		return Result{}, stuck
+	}
+	return Result{Makespan: time.Since(start), Counters: pol.Counters()}, nil
+}
+
+// runTask executes a task's closure, converting panics (numerical
+// failures such as a singular pivot block or a non-SPD input) into
+// errors so a worker goroutine never takes the whole process down.
+func runTask(t *dag.Task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rt: task %d (%v) failed: %v", t.ID, t.Kind, r)
+		}
+	}()
+	t.Run()
+	return nil
+}
+
+// spinFor burns CPU for roughly d, emulating a compute-stealing daemon
+// rather than a blocking wait (sleeping would free the core, which is
+// not what OS noise does).
+func spinFor(d time.Duration) {
+	deadline := time.Now().Add(d)
+	x := 0.0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1024; i++ {
+			x += float64(i)
+		}
+	}
+	_ = x
+}

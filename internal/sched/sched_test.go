@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+)
+
+// mkTask builds a standalone task for queue tests.
+func mkTask(id int32, owner int, static bool, prio int64) *dag.Task {
+	return &dag.Task{ID: id, Owner: owner, Static: static, Prio: prio}
+}
+
+func TestStaticPinsToOwner(t *testing.T) {
+	p := NewStatic()
+	p.Reset(&dag.Graph{}, 2)
+	p.Ready(mkTask(1, 0, true, 10))
+	p.Ready(mkTask(2, 1, true, 5))
+	if got := p.Next(0); got == nil || got.ID != 1 {
+		t.Fatalf("worker 0 got %v", got)
+	}
+	if got := p.Next(0); got != nil {
+		t.Fatalf("worker 0 must not see worker 1's task, got %v", got)
+	}
+	if got := p.Next(1); got == nil || got.ID != 2 {
+		t.Fatalf("worker 1 got %v", got)
+	}
+}
+
+func TestStaticPriorityOrder(t *testing.T) {
+	p := NewStatic()
+	p.Reset(&dag.Graph{}, 1)
+	p.Ready(mkTask(1, 0, true, 30))
+	p.Ready(mkTask(2, 0, true, 10))
+	p.Ready(mkTask(3, 0, true, 20))
+	want := []int32{2, 3, 1}
+	for _, w := range want {
+		if got := p.Next(0); got.ID != w {
+			t.Fatalf("got %d want %d", got.ID, w)
+		}
+	}
+}
+
+func TestDynamicAnyWorkerLowestPrioFirst(t *testing.T) {
+	p := NewDynamic()
+	p.Reset(&dag.Graph{}, 4)
+	p.Ready(mkTask(1, 3, false, 50))
+	p.Ready(mkTask(2, 2, false, 5))
+	if got := p.Next(0); got.ID != 2 {
+		t.Fatalf("got %d want 2 (DFS order)", got.ID)
+	}
+	if got := p.Next(3); got.ID != 1 {
+		t.Fatalf("got %d want 1", got.ID)
+	}
+	c := p.Counters()
+	if c.DequeueDynamic != 2 {
+		t.Fatalf("dynamic dequeues = %d want 2", c.DequeueDynamic)
+	}
+	if c.Mismatches != 1 { // task 1 popped by worker 0, owner 3? no: task2 owner2 by w0 (mismatch), task1 owner3 by w3 (match)
+		t.Fatalf("mismatches = %d want 1", c.Mismatches)
+	}
+}
+
+func TestHybridPrefersOwnStaticQueue(t *testing.T) {
+	p := NewHybrid()
+	p.Reset(&dag.Graph{}, 2)
+	p.Ready(mkTask(1, 0, true, 100)) // static, low priority value order but static wins
+	p.Ready(mkTask(2, 0, false, 1))  // dynamic, better priority
+	if got := p.Next(0); got.ID != 1 {
+		t.Fatalf("hybrid must drain own static queue first, got %d", got.ID)
+	}
+	if got := p.Next(0); got.ID != 2 {
+		t.Fatalf("then fall back to dynamic, got %d", got.ID)
+	}
+}
+
+func TestHybridIdleWorkerTakesDynamic(t *testing.T) {
+	// Algorithm 1 lines 8-10: a worker with no ready static tasks picks
+	// up dynamic work instead of idling.
+	p := NewHybrid()
+	p.Reset(&dag.Graph{}, 2)
+	p.Ready(mkTask(1, 1, true, 10))  // static task for worker 1
+	p.Ready(mkTask(2, 1, false, 20)) // dynamic task
+	if got := p.Next(0); got == nil || got.ID != 2 {
+		t.Fatalf("worker 0 should pull dynamic task, got %v", got)
+	}
+	c := p.Counters()
+	if c.DequeueDynamic != 1 || c.Mismatches != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestHybridReadyCount(t *testing.T) {
+	p := NewHybrid()
+	p.Reset(&dag.Graph{}, 2)
+	if p.ReadyCount() != 0 {
+		t.Fatal("fresh policy not empty")
+	}
+	p.Ready(mkTask(1, 0, true, 1))
+	p.Ready(mkTask(2, 0, false, 2))
+	if p.ReadyCount() != 2 {
+		t.Fatalf("ready = %d want 2", p.ReadyCount())
+	}
+	p.Next(0)
+	p.Next(0)
+	if p.ReadyCount() != 0 {
+		t.Fatalf("ready = %d want 0", p.ReadyCount())
+	}
+}
+
+func TestWorkStealingOwnDequeLIFO(t *testing.T) {
+	p := NewWorkStealing(1)
+	p.Reset(&dag.Graph{}, 2)
+	p.Ready(mkTask(1, 0, true, 1))
+	p.Ready(mkTask(2, 0, true, 2))
+	if got := p.Next(0); got.ID != 2 {
+		t.Fatalf("own deque must be LIFO, got %d", got.ID)
+	}
+}
+
+func TestWorkStealingStealsFIFO(t *testing.T) {
+	p := NewWorkStealing(1)
+	p.Reset(&dag.Graph{}, 2)
+	p.Ready(mkTask(1, 1, true, 1))
+	p.Ready(mkTask(2, 1, true, 2))
+	got := p.Next(0) // steal from worker 1
+	if got == nil || got.ID != 1 {
+		t.Fatalf("steal must be FIFO from victim, got %v", got)
+	}
+	c := p.Counters()
+	if c.Steals != 1 {
+		t.Fatalf("steals = %d want 1", c.Steals)
+	}
+}
+
+func TestWorkStealingExhausted(t *testing.T) {
+	p := NewWorkStealing(1)
+	p.Reset(&dag.Graph{}, 3)
+	if got := p.Next(1); got != nil {
+		t.Fatalf("empty policy returned %v", got)
+	}
+}
+
+func TestAllPoliciesDrainEverything(t *testing.T) {
+	policies := []Policy{NewStatic(), NewDynamic(), NewHybrid(), NewWorkStealing(3)}
+	for _, p := range policies {
+		p.Reset(&dag.Graph{}, 3)
+		for i := int32(0); i < 30; i++ {
+			p.Ready(mkTask(i, int(i)%3, i%2 == 0, int64(i)))
+		}
+		got := 0
+		for w := 0; got < 30; w = (w + 1) % 3 {
+			if t2 := p.Next(w); t2 != nil {
+				got++
+			} else if p.ReadyCount() == 0 {
+				break
+			}
+		}
+		if got != 30 {
+			t.Errorf("%s drained %d/30", p.Name(), got)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewStatic().Name() != "static" || NewDynamic().Name() != "dynamic" ||
+		NewHybrid().Name() != "hybrid" || NewWorkStealing(0).Name() != "worksteal" {
+		t.Fatal("policy names must be stable for reports")
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/layout"
+	"repro/internal/mat"
+)
+
+// PhantomLayout implements layout.Layout for shape-only simulation: it
+// answers every structural query (dimensions, block counts, ownership,
+// grouping contiguity) exactly like the real layout of the same kind,
+// but holds no matrix data. Building a CALU graph over a phantom layout
+// with SimOnly set lets the simulator handle paper-scale matrices
+// (n = 15000) without allocating gigabytes.
+type PhantomLayout struct {
+	kind    layout.Kind
+	m, n, b int
+	grid    layout.Grid
+}
+
+// NewPhantomLayout creates a shape-only layout descriptor.
+func NewPhantomLayout(kind layout.Kind, m, n, b int, g layout.Grid) *PhantomLayout {
+	if b <= 0 {
+		panic("sim: block size must be positive")
+	}
+	return &PhantomLayout{kind: kind, m: m, n: n, b: b, grid: g}
+}
+
+// Kind reports the emulated storage scheme.
+func (l *PhantomLayout) Kind() layout.Kind { return l.kind }
+
+// Dims returns rows, cols, block size.
+func (l *PhantomLayout) Dims() (int, int, int) { return l.m, l.n, l.b }
+
+// Blocks returns the block grid extents.
+func (l *PhantomLayout) Blocks() (int, int) {
+	return (l.m + l.b - 1) / l.b, (l.n + l.b - 1) / l.b
+}
+
+// Grid returns the worker grid.
+func (l *PhantomLayout) Grid() layout.Grid { return l.grid }
+
+// Owner matches the real layouts' block-cyclic ownership.
+func (l *PhantomLayout) Owner(i, j int) int { return l.grid.Owner(i, j) }
+
+// GroupWidth mirrors the real layouts' contiguity rules: BCL and CM can
+// fuse owned block columns, 2l-BL cannot.
+func (l *PhantomLayout) GroupWidth(i, j, maxGroup int) int {
+	_, nb := l.Blocks()
+	switch l.kind {
+	case layout.TwoLevel:
+		return 1
+	case layout.CM:
+		w := 1
+		for w < maxGroup && j+w < nb {
+			w++
+		}
+		return w
+	default: // BCL
+		w := 1
+		for w < maxGroup && j+w*l.grid.PC < nb {
+			w++
+		}
+		return w
+	}
+}
+
+// RowGroupWidth mirrors the real layouts' vertical contiguity rules.
+func (l *PhantomLayout) RowGroupWidth(i, j, maxGroup int) int {
+	mb, _ := l.Blocks()
+	switch l.kind {
+	case layout.TwoLevel:
+		return 1
+	case layout.CM:
+		w := 1
+		for w < maxGroup && i+w < mb {
+			w++
+		}
+		return w
+	default: // BCL
+		w := 1
+		for w < maxGroup && i+w*l.grid.PR < mb {
+			w++
+		}
+		return w
+	}
+}
+
+// GroupedRows is unavailable on a phantom layout.
+func (l *PhantomLayout) GroupedRows(i, j, width int) kernel.View {
+	panic("sim: phantom layout holds no data (GroupedRows)")
+}
+
+// Block is unavailable on a phantom layout.
+func (l *PhantomLayout) Block(i, j int) kernel.View {
+	panic(fmt.Sprintf("sim: phantom layout holds no data (Block %d,%d)", i, j))
+}
+
+// GroupedBlock is unavailable on a phantom layout.
+func (l *PhantomLayout) GroupedBlock(i, j, width int) kernel.View {
+	panic("sim: phantom layout holds no data (GroupedBlock)")
+}
+
+// SwapRows is unavailable on a phantom layout.
+func (l *PhantomLayout) SwapRows(jb, r1, r2 int) {
+	panic("sim: phantom layout holds no data (SwapRows)")
+}
+
+// ToDense is unavailable on a phantom layout.
+func (l *PhantomLayout) ToDense() *mat.Dense {
+	panic("sim: phantom layout holds no data (ToDense)")
+}

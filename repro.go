@@ -1,0 +1,156 @@
+// Package repro is the public facade of the reproduction of Donfack,
+// Grigori, Gropp and Kale, "Hybrid static/dynamic scheduling for
+// already optimized dense matrix factorization" (IPDPS 2012).
+//
+// The library implements communication-avoiding LU factorization
+// (CALU) with tournament pivoting over three data layouts (column
+// major, block cyclic, two-level blocks), scheduled by fully static,
+// fully dynamic, hybrid static/dynamic (the paper's contribution) or
+// work-stealing policies; the MKL-style and PLASMA-style baselines the
+// paper compares against; a discrete-event simulator of the paper's two
+// evaluation machines; and the experiment harness that regenerates
+// every figure and table of the evaluation section.
+//
+// Quick start:
+//
+//	a := repro.RandomMatrix(1024, 1024, 42)
+//	f, err := repro.Factor(a, repro.Options{
+//		Layout:       repro.LayoutBlockCyclic,
+//		Workers:      8,
+//		Scheduler:    repro.ScheduleHybrid,
+//		DynamicRatio: 0.1, // the paper's usual sweet spot
+//	})
+//	x, err := f.Solve(b)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/layout"
+	"repro/internal/mat"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Matrix is a dense column-major matrix.
+type Matrix = mat.Dense
+
+// NewMatrix allocates an r x c zero matrix.
+func NewMatrix(r, c int) *Matrix { return mat.New(r, c) }
+
+// RandomMatrix returns an r x c matrix with uniform entries in [-1,1)
+// drawn from a deterministic seed.
+func RandomMatrix(r, c int, seed int64) *Matrix {
+	return mat.Random(r, c, rand.New(rand.NewSource(seed)))
+}
+
+// Layout kinds (paper section 4).
+const (
+	// LayoutColMajor is the classic LAPACK column-major storage ("CM").
+	LayoutColMajor = layout.CM
+	// LayoutBlockCyclic is the block cyclic layout ("BCL").
+	LayoutBlockCyclic = layout.BCL
+	// LayoutTwoLevel is the two-level block layout ("2l-BL").
+	LayoutTwoLevel = layout.TwoLevel
+)
+
+// Scheduling strategies (paper Table 1).
+const (
+	// ScheduleStatic is fully static owner-computes scheduling.
+	ScheduleStatic = core.ScheduleStatic
+	// ScheduleDynamic is fully dynamic shared-queue scheduling.
+	ScheduleDynamic = core.ScheduleDynamic
+	// ScheduleHybrid is the paper's hybrid static/dynamic strategy.
+	ScheduleHybrid = core.ScheduleHybrid
+	// ScheduleWorkStealing is randomized work stealing (section 8).
+	ScheduleWorkStealing = core.ScheduleWorkStealing
+)
+
+// Options configures Factor. See core.Options for field documentation.
+type Options = core.Options
+
+// Factorization is the result of Factor: PA = LU plus run metadata.
+type Factorization = core.Factorization
+
+// Factor computes the CALU factorization of a with the requested
+// layout, block size, worker count and scheduling strategy.
+func Factor(a *Matrix, opt Options) (*Factorization, error) { return core.Factor(a, opt) }
+
+// Residual returns the normalized backward error ||PA-LU|| of a
+// factorization; values near machine epsilon indicate success.
+func Residual(a *Matrix, f *Factorization) float64 { return core.Residual(a, f) }
+
+// SolveResidual returns the normalized residual of a solve.
+func SolveResidual(a *Matrix, x, b []float64) float64 { return core.SolveResidual(a, x, b) }
+
+// ReferenceLU is the sequential GEPP oracle.
+func ReferenceLU(a *Matrix) (*Factorization, error) { return core.ReferenceLU(a) }
+
+// GEPPOptions configures the MKL-style baseline.
+type GEPPOptions = baseline.GEPPOptions
+
+// FactorGEPP runs the MKL-style blocked LU baseline (sequential panel).
+func FactorGEPP(a *Matrix, opt GEPPOptions) (*Factorization, error) {
+	return baseline.FactorGEPP(a, opt)
+}
+
+// IncPivOptions configures the PLASMA-style baseline.
+type IncPivOptions = baseline.IncPivOptions
+
+// SolveIncPiv solves A x = b with the PLASMA-style incremental-pivoting
+// tiled LU baseline.
+func SolveIncPiv(a *Matrix, b []float64, opt IncPivOptions) ([]float64, error) {
+	x, _, err := baseline.SolveIncPiv(a, b, opt)
+	return x, err
+}
+
+// Machine is a simulated platform model.
+type Machine = sim.Machine
+
+// IntelXeon16 models the paper's 16-core Intel Xeon machine.
+func IntelXeon16() Machine { return sim.IntelXeon16() }
+
+// AMDOpteron48 models the paper's 48-core AMD Opteron NUMA machine.
+func AMDOpteron48() Machine { return sim.AMDOpteron48() }
+
+// TheoremParams are the inputs of the paper's Theorem 1 (section 6).
+type TheoremParams = model.Params
+
+// ExperimentIDs lists every reproducible experiment (fig1..fig17,
+// table1, thm1, exascale, ablation) in paper order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one experiment by id at the given scale
+// (1.0 = paper-sized matrices) and returns its rendered table.
+func RunExperiment(id string, scale float64, seed int64) (string, error) {
+	tbl, err := experiments.Run(id, scale, seed)
+	if err != nil {
+		return "", err
+	}
+	return tbl.String(), nil
+}
+
+// CholeskyFactorization is the result of FactorCholesky: A = L*L^T.
+type CholeskyFactorization = core.CholeskyFactorization
+
+// FactorCholesky factors a symmetric positive definite matrix with
+// tiled Cholesky under the same layouts and hybrid static/dynamic
+// scheduling as CALU — the paper's section 9 future-work item.
+func FactorCholesky(a *Matrix, opt Options) (*CholeskyFactorization, error) {
+	return core.FactorCholesky(a, opt)
+}
+
+// CholeskyResidual returns ||A - L L^T|| normalized.
+func CholeskyResidual(a *Matrix, f *CholeskyFactorization) float64 {
+	return core.CholeskyResidual(a, f)
+}
+
+// RandomSPD returns a random symmetric positive definite matrix for
+// Cholesky workloads.
+func RandomSPD(n int, seed int64) *Matrix { return core.RandomSPD(n, seed) }
