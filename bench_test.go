@@ -243,27 +243,51 @@ func viewOf(a *mat.Dense) kernel.View {
 	return kernel.View{Rows: a.Rows, Cols: a.Cols, Stride: a.Stride, Data: a.Data}
 }
 
-func BenchmarkKernelGemm128(b *testing.B) {
-	a := RandomMatrix(128, 128, 1)
-	bb := RandomMatrix(128, 128, 2)
-	c := RandomMatrix(128, 128, 3)
+// benchGemm reports GFLOPS of one square C -= A*B at size n, for
+// either the dispatching (packed) entry or the naive oracle — the
+// before/after pair that quantifies the packed kernel layer.
+func benchGemm(b *testing.B, n int, gemm func(c, a2, b2 kernel.View)) {
+	b.Helper()
+	a := RandomMatrix(n, n, 1)
+	bb := RandomMatrix(n, n, 2)
+	c := RandomMatrix(n, n, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		kernel.Gemm(viewOf(c), viewOf(a), viewOf(bb))
+		gemm(viewOf(c), viewOf(a), viewOf(bb))
 	}
-	b.SetBytes(3 * 128 * 128 * 8)
+	b.SetBytes(3 * int64(n) * int64(n) * 8)
+	b.ReportMetric(2*float64(n)*float64(n)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
 }
 
-func BenchmarkKernelTrsmLower128(b *testing.B) {
-	l := RandomMatrix(128, 128, 4)
-	for i := 0; i < 128; i++ {
+func BenchmarkKernelGemm128(b *testing.B) { benchGemm(b, 128, kernel.Gemm) }
+func BenchmarkKernelGemm256(b *testing.B) { benchGemm(b, 256, kernel.Gemm) }
+func BenchmarkKernelGemm512(b *testing.B) { benchGemm(b, 512, kernel.Gemm) }
+
+// The seed's axpy loop nest, kept as the oracle and the baseline the
+// packed path is measured against.
+func BenchmarkKernelGemmNaive128(b *testing.B) { benchGemm(b, 128, kernel.GemmNaive) }
+func BenchmarkKernelGemmNaive512(b *testing.B) { benchGemm(b, 512, kernel.GemmNaive) }
+
+func BenchmarkKernelGemmNT256(b *testing.B) { benchGemm(b, 256, kernel.GemmNT) }
+
+func benchTrsmLower(b *testing.B, n int, trsm func(l, x kernel.View)) {
+	b.Helper()
+	l := RandomMatrix(n, n, 4)
+	for i := 0; i < n; i++ {
 		l.Set(i, i, 1)
 	}
-	x := RandomMatrix(128, 128, 5)
+	x := RandomMatrix(n, n, 5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		kernel.TrsmLowerLeftUnit(viewOf(l), viewOf(x))
+		trsm(viewOf(l), viewOf(x))
 	}
+	b.ReportMetric(float64(n)*float64(n)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkKernelTrsmLower128(b *testing.B) { benchTrsmLower(b, 128, kernel.TrsmLowerLeftUnit) }
+func BenchmarkKernelTrsmLower256(b *testing.B) { benchTrsmLower(b, 256, kernel.TrsmLowerLeftUnit) }
+func BenchmarkKernelTrsmLowerNaive256(b *testing.B) {
+	benchTrsmLower(b, 256, kernel.TrsmLowerLeftUnitNaive)
 }
 
 func BenchmarkKernelRecursiveLU(b *testing.B) {

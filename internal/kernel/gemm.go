@@ -1,0 +1,162 @@
+package kernel
+
+import "fmt"
+
+// Gemm computes C -= A * B (the only gemm variant dense LU needs:
+// alpha=-1, beta=1), with A m x k, B k x n, C m x n.
+//
+// Large products take the packed register-tiled path (pack.go,
+// microkernel*.go); small ones keep the naive j-k-i axpy nest, whose
+// packing-free startup wins below the gemmPackedMinFlops crossover.
+// Both paths are exact-arithmetic equivalents up to floating-point
+// reassociation; GemmNaive is retained as the correctness oracle.
+func Gemm(c, a, b View) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	if a.Rows != m || b.Rows != k || b.Cols != n {
+		panic(fmt.Sprintf("kernel: gemm shape mismatch C %dx%d, A %dx%d, B %dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if useNaiveKernels || !packedWorthwhile(m, n, k) {
+		gemmNaive(c, a, b)
+		return
+	}
+	gemmPacked(c, a, b, false)
+}
+
+// GemmNT computes C -= A * Bᵀ with A m x k, B n x k, C m x n — the
+// symmetric-update kernel of tiled Cholesky (SYRK/GEMM applied to the
+// lower triangle blockwise). It shares the packed path with Gemm; only
+// the B packing reads transposed.
+func GemmNT(c, a, b View) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	if a.Rows != m || b.Rows != n || b.Cols != k {
+		panic(fmt.Sprintf("kernel: gemmNT shape mismatch C %dx%d, A %dx%d, B %dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if useNaiveKernels || !packedWorthwhile(m, n, k) {
+		gemmNTNaive(c, a, b)
+		return
+	}
+	gemmPacked(c, a, b, true)
+}
+
+// gemmPacked is the three-level blocked driver: jc/pc/ic loops carve
+// C -= A*B (or A*Bᵀ when bTrans) into mc x nc tiles updated through
+// packed kc-deep slivers, and the macro-kernel walks register tiles
+// over the packed buffers.
+func gemmPacked(c, a, b View, bTrans bool) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	for jc := 0; jc < n; jc += nc {
+		ncLen := min(nc, n-jc)
+		for pc := 0; pc < k; pc += kc {
+			kcLen := min(kc, k-pc)
+			packB(ws.bp, b, pc, jc, kcLen, ncLen, bTrans)
+			for ic := 0; ic < m; ic += mc {
+				mcLen := min(mc, m-ic)
+				packA(ws.ap, a, ic, pc, mcLen, kcLen)
+				macroKernel(c, ws, ic, jc, mcLen, ncLen, kcLen)
+			}
+		}
+	}
+}
+
+// macroKernel sweeps mr x nr register tiles over one packed (A, B)
+// block pair, subtracting each micro-kernel result into C. Edge tiles
+// are computed at full padded width and masked at write-back.
+func macroKernel(c View, ws *workspace, ic, jc, mcLen, ncLen, kcLen int) {
+	var acc [maxMR * maxNR]float64
+	for jr := 0; jr < ncLen; jr += nr {
+		nrLen := min(nr, ncLen-jr)
+		bpPanel := ws.bp[(jr/nr)*kcLen*nr:]
+		for ir := 0; ir < mcLen; ir += mr {
+			mrLen := min(mr, mcLen-ir)
+			apPanel := ws.ap[(ir/mr)*kcLen*mr:]
+			microKernel(kcLen, apPanel, bpPanel, acc[:])
+			storeTile(c, ic+ir, jc+jr, mrLen, nrLen, acc[:])
+		}
+	}
+}
+
+// storeTile applies C(i0:i0+mrLen, j0:j0+nrLen) -= acc, where acc is a
+// full mr x nr tile in column-major order.
+func storeTile(c View, i0, j0, mrLen, nrLen int, acc []float64) {
+	for j := 0; j < nrLen; j++ {
+		cj := c.Data[(j0+j)*c.Stride+i0 : (j0+j)*c.Stride+i0+mrLen]
+		aj := acc[j*mr : j*mr+mrLen]
+		for i := range cj {
+			cj[i] -= aj[i]
+		}
+	}
+}
+
+// GemmNaive is the reference implementation of Gemm: a j-k-i loop nest
+// whose inner loop runs down the unit-stride direction of C and A. It
+// is the oracle the property tests pin the packed path against, and
+// the small-product fast path.
+func GemmNaive(c, a, b View) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	if a.Rows != m || b.Rows != k || b.Cols != n {
+		panic(fmt.Sprintf("kernel: gemm shape mismatch C %dx%d, A %dx%d, B %dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	gemmNaive(c, a, b)
+}
+
+// blockK is the k-dimension blocking factor of the naive path. 64
+// columns of 8-byte elements keep the streamed A panel inside L1/L2.
+const blockK = 64
+
+func gemmNaive(c, a, b View) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	for k0 := 0; k0 < k; k0 += blockK {
+		k1 := min(k0+blockK, k)
+		for j := 0; j < n; j++ {
+			cj := c.Data[j*c.Stride : j*c.Stride+m]
+			for l := k0; l < k1; l++ {
+				// No skip on zero b(l,j): x - 0*y must stay IEEE-exact, and
+				// skipping the multiply would mask Inf/NaN in A that the
+				// noise-injection experiments rely on seeing propagate.
+				al := a.Data[l*a.Stride : l*a.Stride+m]
+				axpy(cj, al, -b.Data[j*b.Stride+l])
+			}
+		}
+	}
+}
+
+// GemmNTNaive is the reference implementation of GemmNT.
+func GemmNTNaive(c, a, b View) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	if a.Rows != m || b.Rows != n || b.Cols != k {
+		panic(fmt.Sprintf("kernel: gemmNT shape mismatch C %dx%d, A %dx%d, B %dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	gemmNTNaive(c, a, b)
+}
+
+func gemmNTNaive(c, a, b View) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	for j := 0; j < n; j++ {
+		cj := c.Data[j*c.Stride : j*c.Stride+m]
+		for l := 0; l < k; l++ {
+			al := a.Data[l*a.Stride : l*a.Stride+m]
+			axpy(cj, al, -b.Data[l*b.Stride+j])
+		}
+	}
+}
+
+// axpy computes y += alpha*x with 4-way unrolling.
+func axpy(y, x []float64, alpha float64) {
+	n := len(y)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}

@@ -8,9 +8,14 @@
 // the column-major, block-cyclic and two-level block layouts in
 // internal/layout: each of those exposes blocks as strided views.
 //
-// The implementations favour clarity and cache-friendly loop orders
-// over platform-specific tuning; they are the correctness-bearing
-// kernels, while internal/sim models the performance of tuned BLAS.
+// The compute hot path — Gemm, GemmNT and the blocked triangular
+// solves — is a cache-blocked, packed, register-tiled implementation
+// in the Goto/BLIS style (gemm.go, pack.go, microkernel*.go), with an
+// AVX2+FMA micro-kernel on amd64. Every tuned kernel keeps its naive
+// loop-nest twin (GemmNaive, TrsmLowerLeftUnitNaive, ...) as the
+// correctness oracle: the property tests pin the packed path against
+// the naive one, and internal/sim models the performance of tuned BLAS
+// independently of either.
 package kernel
 
 import (
@@ -36,107 +41,6 @@ func (v View) Set(i, j int, x float64) { v.Data[j*v.Stride+i] = x }
 // Sub returns the view of rows [i0,i1) x cols [j0,j1).
 func (v View) Sub(i0, i1, j0, j1 int) View {
 	return View{Rows: i1 - i0, Cols: j1 - j0, Stride: v.Stride, Data: v.Data[j0*v.Stride+i0:]}
-}
-
-// blockK is the k-dimension blocking factor for Gemm. 64 columns of
-// 8-byte elements keep the streamed A panel inside L1/L2 on anything
-// resembling a modern core.
-const blockK = 64
-
-// Gemm computes C -= A * B (the only gemm variant dense LU needs:
-// alpha=-1, beta=1), with A m x k, B k x n, C m x n.
-//
-// The loop nest is j-k-i with the inner loop running down a column of
-// C and A, which is the unit-stride direction in column-major storage.
-// The k dimension is blocked so the active panel of A stays in cache.
-func Gemm(c, a, b View) {
-	m, n, k := c.Rows, c.Cols, a.Cols
-	if a.Rows != m || b.Rows != k || b.Cols != n {
-		panic(fmt.Sprintf("kernel: gemm shape mismatch C %dx%d, A %dx%d, B %dx%d",
-			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	for k0 := 0; k0 < k; k0 += blockK {
-		k1 := min(k0+blockK, k)
-		for j := 0; j < n; j++ {
-			cj := c.Data[j*c.Stride : j*c.Stride+m]
-			for l := k0; l < k1; l++ {
-				blj := b.Data[j*b.Stride+l]
-				if blj == 0 {
-					continue
-				}
-				al := a.Data[l*a.Stride : l*a.Stride+m]
-				axpy(cj, al, -blj)
-			}
-		}
-	}
-}
-
-// axpy computes y += alpha*x with 4-way unrolling.
-func axpy(y, x []float64, alpha float64) {
-	n := len(y)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		y[i] += alpha * x[i]
-		y[i+1] += alpha * x[i+1]
-		y[i+2] += alpha * x[i+2]
-		y[i+3] += alpha * x[i+3]
-	}
-	for ; i < n; i++ {
-		y[i] += alpha * x[i]
-	}
-}
-
-// TrsmLowerLeftUnit solves L*X = B in place (B <- L^{-1} B), where L is
-// unit lower triangular n x n and B is n x m. This is the "task U"
-// kernel: U_KJ = L_KK^{-1} A_KJ.
-func TrsmLowerLeftUnit(l, b View) {
-	n, m := b.Rows, b.Cols
-	if l.Rows != n || l.Cols != n {
-		panic(fmt.Sprintf("kernel: trsmL shape mismatch L %dx%d, B %dx%d", l.Rows, l.Cols, n, m))
-	}
-	for j := 0; j < m; j++ {
-		bj := b.Data[j*b.Stride : j*b.Stride+n]
-		for k := 0; k < n; k++ {
-			bkj := bj[k]
-			if bkj == 0 {
-				continue
-			}
-			lk := l.Data[k*l.Stride:]
-			for i := k + 1; i < n; i++ {
-				bj[i] -= lk[i] * bkj
-			}
-		}
-	}
-}
-
-// TrsmUpperRight solves X*U = B in place (B <- B U^{-1}), where U is
-// upper triangular (non-unit) n x n and B is m x n. This is the
-// "task L" kernel: L_IK = A_IK U_KK^{-1}.
-func TrsmUpperRight(u, b View) {
-	m, n := b.Rows, b.Cols
-	if u.Rows != n || u.Cols != n {
-		panic(fmt.Sprintf("kernel: trsmU shape mismatch U %dx%d, B %dx%d", u.Rows, u.Cols, m, n))
-	}
-	for j := 0; j < n; j++ {
-		bj := b.Data[j*b.Stride : j*b.Stride+m]
-		// b_j -= sum_{k<j} b_k * u_kj
-		for k := 0; k < j; k++ {
-			ukj := u.Data[j*u.Stride+k]
-			if ukj == 0 {
-				continue
-			}
-			bk := b.Data[k*b.Stride : k*b.Stride+m]
-			axpy(bj, bk, -ukj)
-		}
-		ujj := u.Data[j*u.Stride+j]
-		if ujj == 0 {
-			panic("kernel: trsmU singular diagonal")
-		}
-		inv := 1 / ujj
-		for i := range bj {
-			bj[i] *= inv
-		}
-	}
 }
 
 // Getf2 computes an LU factorization with partial pivoting of the
@@ -175,9 +79,6 @@ func Getf2(a View, piv []int) error {
 		}
 		for j := k + 1; j < n; j++ {
 			akj := a.Data[j*a.Stride+k]
-			if akj == 0 {
-				continue
-			}
 			cj := a.Data[j*a.Stride:]
 			for i := k + 1; i < m; i++ {
 				cj[i] -= col[i] * akj
@@ -194,7 +95,9 @@ const rluCrossover = 16
 // RecursiveLU computes the same factorization as Getf2 using Toledo's
 // recursive formulation, which the paper uses as the sequential panel
 // operator inside TSLU (section 3, "in our experiments we use
-// recursive LU"). piv uses the same convention as Getf2.
+// recursive LU"). piv uses the same convention as Getf2. Its solve and
+// update steps ride the blocked TRSM and packed GEMM, so a tall panel
+// factorization runs at matrix-matrix speed.
 func RecursiveLU(a View, piv []int) error {
 	m, n := a.Rows, a.Cols
 	steps := min(m, n)
@@ -278,9 +181,6 @@ func GetrfNoPiv(a View) error {
 		}
 		for j := k + 1; j < a.Cols; j++ {
 			akj := a.Data[j*a.Stride+k]
-			if akj == 0 {
-				continue
-			}
 			cj := a.Data[j*a.Stride:]
 			for i := k + 1; i < a.Rows; i++ {
 				cj[i] -= col[i] * akj
@@ -356,55 +256,4 @@ func Potf2(a View) error {
 		}
 	}
 	return nil
-}
-
-// TrsmRightLowerTrans solves X * L^T = B in place (B <- B L^{-T}), with
-// L lower triangular non-unit n x n and B m x n — the TRSM variant of
-// the tiled Cholesky panel.
-func TrsmRightLowerTrans(l, b View) {
-	m, n := b.Rows, b.Cols
-	if l.Rows != n || l.Cols != n {
-		panic(fmt.Sprintf("kernel: trsmRLT shape mismatch L %dx%d, B %dx%d", l.Rows, l.Cols, m, n))
-	}
-	for j := 0; j < n; j++ {
-		bj := b.Data[j*b.Stride : j*b.Stride+m]
-		for k := 0; k < j; k++ {
-			ljk := l.Data[k*l.Stride+j] // L[j,k]
-			if ljk == 0 {
-				continue
-			}
-			bk := b.Data[k*b.Stride : k*b.Stride+m]
-			axpy(bj, bk, -ljk)
-		}
-		ljj := l.Data[j*l.Stride+j]
-		if ljj == 0 {
-			panic("kernel: trsmRLT singular diagonal")
-		}
-		inv := 1 / ljj
-		for i := range bj {
-			bj[i] *= inv
-		}
-	}
-}
-
-// GemmNT computes C -= A * B^T with A m x k, B n x k, C m x n — the
-// symmetric-update kernel of tiled Cholesky (SYRK/GEMM applied to the
-// lower triangle blockwise).
-func GemmNT(c, a, b View) {
-	m, n, k := c.Rows, c.Cols, a.Cols
-	if a.Rows != m || b.Rows != n || b.Cols != k {
-		panic(fmt.Sprintf("kernel: gemmNT shape mismatch C %dx%d, A %dx%d, B %dx%d",
-			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	for j := 0; j < n; j++ {
-		cj := c.Data[j*c.Stride : j*c.Stride+m]
-		for l := 0; l < k; l++ {
-			bjl := b.Data[l*b.Stride+j]
-			if bjl == 0 {
-				continue
-			}
-			al := a.Data[l*a.Stride : l*a.Stride+m]
-			axpy(cj, al, -bjl)
-		}
-	}
 }

@@ -1,0 +1,153 @@
+// Black-box tests (external test package so internal/layout, which
+// itself imports kernel, can be used): the packed GEMM and blocked
+// TRSM must be exact on the strided views the block-cyclic and
+// two-level layouts hand to the CALU tasks — including grouped
+// (vertically fused) views, whose strides differ from their row counts.
+package kernel_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/layout"
+	"repro/internal/mat"
+)
+
+func denseView(a *mat.Dense) kernel.View {
+	return kernel.View{Rows: a.Rows, Cols: a.Cols, Stride: a.Stride, Data: a.Data}
+}
+
+// refGemmDense computes C -= A*B with scalar loops on dense matrices.
+func refGemmDense(c, a, b *mat.Dense) {
+	for j := 0; j < c.Cols; j++ {
+		for i := 0; i < c.Rows; i++ {
+			s := c.At(i, j)
+			for l := 0; l < a.Cols; l++ {
+				s -= a.At(i, l) * b.At(l, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+}
+
+// TestGemmOnLayoutBlockViews runs the CALU S-task update on real
+// layout block views for every storage scheme and checks the layout's
+// dense image against a plain dense reference.
+func TestGemmOnLayoutBlockViews(t *testing.T) {
+	const n, b = 260, 64 // ragged: 5 block rows/cols, last is 4 wide
+	rng := rand.New(rand.NewSource(41))
+	src := mat.Random(n, n, rng)
+	grid := layout.NewGrid(4)
+	for _, kind := range []layout.Kind{layout.CM, layout.BCL, layout.TwoLevel} {
+		l := layout.New(kind, src, b, grid)
+		want := src.Clone()
+		mb, nb := l.Blocks()
+		// C(i,j) -= A(i,0) * B(0,j) for all off-panel blocks, edge
+		// blocks included.
+		for i := 1; i < mb; i++ {
+			for j := 1; j < nb; j++ {
+				av := l.Block(i, 0)
+				bv := l.Block(0, j)
+				cv := l.Block(i, j)
+				// Shapes: A rows(i) x b, B b x cols(j), C rows(i) x cols(j).
+				kernel.Gemm(cv, av, bv)
+			}
+		}
+		for i := 1; i < mb; i++ {
+			for j := 1; j < nb; j++ {
+				ai := want.Slice(i*b, min(n, i*b+b), 0, b)
+				bj := want.Slice(0, b, j*b, min(n, j*b+b))
+				cij := want.Slice(i*b, min(n, i*b+b), j*b, min(n, j*b+b))
+				refGemmDense(cij, ai.Clone(), bj.Clone())
+			}
+		}
+		got := l.ToDense()
+		if d := mat.MaxAbsDiff(got, want); d > 1e-11*math.Max(1, want.NormMax()) {
+			t.Fatalf("%v: packed gemm wrong on layout views: %g", kind, d)
+		}
+	}
+}
+
+// TestGemmOnGroupedRowViews exercises the vertically fused views the
+// trailing update uses (GroupedRows), whose row extent spans several
+// blocks while the stride comes from the owner's storage.
+func TestGemmOnGroupedRowViews(t *testing.T) {
+	const n, b = 256, 32
+	rng := rand.New(rand.NewSource(43))
+	src := mat.Random(n, n, rng)
+	grid := layout.NewGrid(4)
+	for _, kind := range []layout.Kind{layout.CM, layout.BCL, layout.TwoLevel} {
+		l := layout.New(kind, src, b, grid)
+		mb, _ := l.Blocks()
+		i0, j := 1, 4
+		w := l.RowGroupWidth(i0, j, mb-i0)
+		if w < 1 {
+			t.Fatalf("%v: no grouped rows at (%d,%d)", kind, i0, j)
+		}
+		cv := l.GroupedRows(i0, j, w)
+		av := l.GroupedRows(i0, 0, w)
+		bv := l.Block(0, j)
+		kernel.Gemm(cv, av, bv)
+
+		// Dense reference: the same update applied to the rows the
+		// group covers (consecutive owned block rows step by the grid
+		// row period).
+		want := src.Clone()
+		period := 1
+		if kind != layout.CM {
+			period = l.Grid().PR
+		}
+		for g := 0; g < w; g++ {
+			i := i0 + g*period
+			r0, r1 := i*b, min(n, i*b+b)
+			ai := want.Slice(r0, r1, 0, b)
+			bj := want.Slice(0, b, j*b, min(n, j*b+b))
+			cij := want.Slice(r0, r1, j*b, min(n, j*b+b))
+			refGemmDense(cij, ai.Clone(), bj.Clone())
+		}
+		got := l.ToDense()
+		if d := mat.MaxAbsDiff(got, want); d > 1e-11*math.Max(1, want.NormMax()) {
+			t.Fatalf("%v: packed gemm wrong on grouped views (w=%d): %g", kind, w, d)
+		}
+	}
+}
+
+// TestTrsmOnLayoutViews runs the U-task solve on layout block views.
+func TestTrsmOnLayoutViews(t *testing.T) {
+	const n, b = 200, 64
+	rng := rand.New(rand.NewSource(47))
+	src := mat.Random(n, n, rng)
+	for i := 0; i < n; i++ {
+		src.Set(i, i, 1)
+		for j := i + 1; j < n; j++ {
+			if i < b && j < b {
+				src.Set(i, j, 0) // make the (0,0) block unit lower triangular
+			}
+		}
+	}
+	grid := layout.NewGrid(4)
+	for _, kind := range []layout.Kind{layout.BCL, layout.TwoLevel} {
+		l := layout.New(kind, src, b, grid)
+		lv := l.Block(0, 0)
+		bv := l.Block(0, 2)
+		x := mat.FromColMajor(bv.Rows, bv.Cols, bv.Stride, bv.Data).Clone()
+		kernel.TrsmLowerLeftUnit(lv, bv)
+		// Reference with the naive oracle on a dense copy.
+		l00 := src.Slice(0, b, 0, b)
+		kernel.TrsmLowerLeftUnitNaive(denseView(l00.Clone()), denseView(x))
+		got := mat.FromColMajor(bv.Rows, bv.Cols, bv.Stride, bv.Data)
+		maxd := 0.0
+		for j := 0; j < x.Cols; j++ {
+			for i := 0; i < x.Rows; i++ {
+				if d := math.Abs(got.At(i, j) - x.At(i, j)); d > maxd {
+					maxd = d
+				}
+			}
+		}
+		if maxd > 1e-10*math.Max(1, x.NormMax()) {
+			t.Fatalf("%v: blocked trsm wrong on layout views: %g", kind, maxd)
+		}
+	}
+}

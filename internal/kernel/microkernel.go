@@ -1,0 +1,40 @@
+package kernel
+
+// micro4x4 is the portable register-tile micro-kernel: a 4x4 block of
+// C accumulated in sixteen scalar variables over kk packed k-steps.
+// ap/bp are one packed A row panel and one packed B column panel (see
+// pack.go). The result lands in acc[j*mr+i]; the caller subtracts it
+// into C.
+func micro4x4(kk int, ap, bp, acc []float64) {
+	var c00, c10, c20, c30 float64
+	var c01, c11, c21, c31 float64
+	var c02, c12, c22, c32 float64
+	var c03, c13, c23, c33 float64
+	for l := 0; l < kk; l++ {
+		o := l * 4
+		a := ap[o : o+4 : o+4]
+		b := bp[o : o+4 : o+4]
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		c00 += a0 * b0
+		c10 += a1 * b0
+		c20 += a2 * b0
+		c30 += a3 * b0
+		c01 += a0 * b1
+		c11 += a1 * b1
+		c21 += a2 * b1
+		c31 += a3 * b1
+		c02 += a0 * b2
+		c12 += a1 * b2
+		c22 += a2 * b2
+		c32 += a3 * b2
+		c03 += a0 * b3
+		c13 += a1 * b3
+		c23 += a2 * b3
+		c33 += a3 * b3
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c10, c20, c30
+	acc[4], acc[5], acc[6], acc[7] = c01, c11, c21, c31
+	acc[8], acc[9], acc[10], acc[11] = c02, c12, c22, c32
+	acc[12], acc[13], acc[14], acc[15] = c03, c13, c23, c33
+}

@@ -1,0 +1,38 @@
+package kernel
+
+// The AVX2+FMA micro-kernel computes an 8x4 register tile: eight
+// 256-bit accumulators (two YMM registers per C column), two packed-A
+// vector loads and four B broadcasts per k-step — 8 FMAs, i.e. 64
+// flops, per iteration. That is the shape that saturates the two FMA
+// ports of every AVX2 core, which scalar Go code cannot do (the
+// compiler has no auto-vectorizer and at most ~2 flops/cycle).
+//
+// Selection happens at init: if the CPU lacks AVX2, FMA or OS AVX
+// state support, the portable 4x4 kernel stays active and the packed
+// formats shrink with it (mr is a variable, see tuning.go).
+
+//go:noescape
+func microKernel8x4FMA(kk int, ap, bp, acc *float64)
+
+// cpuSupportsAVX2FMA reports AVX2+FMA with OS-enabled YMM state
+// (CPUID leaves 1 and 7 plus XGETBV), implemented in assembly to avoid
+// depending on x/sys/cpu.
+func cpuSupportsAVX2FMA() bool
+
+func init() {
+	if cpuSupportsAVX2FMA() {
+		mr, nr = 8, 4
+		microKernel = microAVX2
+	}
+}
+
+// microAVX2 adapts the assembly kernel to the microKernel signature.
+func microAVX2(kk int, ap, bp, acc []float64) {
+	if kk == 0 {
+		for i := range acc[:32] {
+			acc[i] = 0
+		}
+		return
+	}
+	microKernel8x4FMA(kk, &ap[0], &bp[0], &acc[0])
+}

@@ -1,0 +1,137 @@
+// AVX2+FMA 8x4 GEMM micro-kernel and its CPUID feature probe.
+// See microkernel_amd64.go for the register-tile layout.
+
+#include "textflag.h"
+
+// func microKernel8x4FMA(kk int, ap, bp, acc *float64)
+//
+// acc[j*8+i] = sum_l ap[l*8+i] * bp[l*4+j], i in 0..7, j in 0..3.
+// Y0/Y1 hold column 0 (rows 0-3 / 4-7), Y2/Y3 column 1, Y4/Y5
+// column 2, Y6/Y7 column 3. Y8/Y9 are the A sliver, Y10/Y11 rotate
+// through the four B broadcasts. The k-loop is unrolled by two to
+// halve loop overhead; kk is a count of packed k-steps (>= 1).
+TEXT ·microKernel8x4FMA(SB), NOSPLIT, $0-32
+	MOVQ kk+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ acc+24(FP), DX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	MOVQ CX, BX
+	SHRQ $1, CX   // CX = kk/2 double-steps
+	JZ   tail
+
+loop2:
+	// k-step 0
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VBROADCASTSD (DI), Y10
+	VBROADCASTSD 8(DI), Y11
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD 16(DI), Y10
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD 24(DI), Y11
+	VFMADD231PD  Y8, Y10, Y4
+	VFMADD231PD  Y9, Y10, Y5
+	VFMADD231PD  Y8, Y11, Y6
+	VFMADD231PD  Y9, Y11, Y7
+
+	// k-step 1
+	VMOVUPD      64(SI), Y8
+	VMOVUPD      96(SI), Y9
+	VBROADCASTSD 32(DI), Y10
+	VBROADCASTSD 40(DI), Y11
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD 48(DI), Y10
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD 56(DI), Y11
+	VFMADD231PD  Y8, Y10, Y4
+	VFMADD231PD  Y9, Y10, Y5
+	VFMADD231PD  Y8, Y11, Y6
+	VFMADD231PD  Y9, Y11, Y7
+
+	ADDQ $128, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  loop2
+
+tail:
+	ANDQ $1, BX
+	JZ   done
+
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VBROADCASTSD (DI), Y10
+	VBROADCASTSD 8(DI), Y11
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD 16(DI), Y10
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD 24(DI), Y11
+	VFMADD231PD  Y8, Y10, Y4
+	VFMADD231PD  Y9, Y10, Y5
+	VFMADD231PD  Y8, Y11, Y6
+	VFMADD231PD  Y9, Y11, Y7
+
+done:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, 64(DX)
+	VMOVUPD Y3, 96(DX)
+	VMOVUPD Y4, 128(DX)
+	VMOVUPD Y5, 160(DX)
+	VMOVUPD Y6, 192(DX)
+	VMOVUPD Y7, 224(DX)
+	VZEROUPPER
+	RET
+
+// func cpuSupportsAVX2FMA() bool
+TEXT ·cpuSupportsAVX2FMA(SB), NOSPLIT, $0-1
+	// Need CPUID leaf 7.
+	XORL AX, AX
+	CPUID
+	CMPL AX, $7
+	JL   no
+
+	// Leaf 1 ECX: FMA (bit 12), OSXSAVE (bit 27), AVX (bit 28).
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $0x18001000, R8
+	CMPL R8, $0x18001000
+	JNE  no
+
+	// XCR0: SSE (bit 1) and AVX (bit 2) state enabled by the OS.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+
+	// Leaf 7 EBX: AVX2 (bit 5).
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x20, BX
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,157 @@
+package kernel
+
+import "fmt"
+
+// The triangular solves are blocked: the triangle is carved into
+// trsmBlock-wide diagonal systems solved by the naive kernels, and all
+// off-diagonal mass becomes rank-trsmBlock GEMM updates that ride the
+// packed path. The naive variants are retained both as the diagonal
+// micro-solvers and as the property-test oracles.
+
+// TrsmLowerLeftUnit solves L*X = B in place (B <- L^{-1} B), where L is
+// unit lower triangular n x n and B is n x m. This is the "task U"
+// kernel: U_KJ = L_KK^{-1} A_KJ.
+func TrsmLowerLeftUnit(l, b View) {
+	n, m := b.Rows, b.Cols
+	if l.Rows != n || l.Cols != n {
+		panic(fmt.Sprintf("kernel: trsmL shape mismatch L %dx%d, B %dx%d", l.Rows, l.Cols, n, m))
+	}
+	if useNaiveKernels || n <= trsmBlock {
+		trsmLowerLeftUnitNaive(l, b)
+		return
+	}
+	for k0 := 0; k0 < n; k0 += trsmBlock {
+		k1 := min(k0+trsmBlock, n)
+		trsmLowerLeftUnitNaive(l.Sub(k0, k1, k0, k1), b.Sub(k0, k1, 0, m))
+		if k1 < n {
+			// B2 -= L21 * X1.
+			Gemm(b.Sub(k1, n, 0, m), l.Sub(k1, n, k0, k1), b.Sub(k0, k1, 0, m))
+		}
+	}
+}
+
+// TrsmLowerLeftUnitNaive is the unblocked reference forward solve.
+func TrsmLowerLeftUnitNaive(l, b View) {
+	n, m := b.Rows, b.Cols
+	if l.Rows != n || l.Cols != n {
+		panic(fmt.Sprintf("kernel: trsmL shape mismatch L %dx%d, B %dx%d", l.Rows, l.Cols, n, m))
+	}
+	trsmLowerLeftUnitNaive(l, b)
+}
+
+func trsmLowerLeftUnitNaive(l, b View) {
+	n, m := b.Rows, b.Cols
+	for j := 0; j < m; j++ {
+		bj := b.Data[j*b.Stride : j*b.Stride+n]
+		for k := 0; k < n; k++ {
+			// No skip on zero b(k,j): the subtraction must stay IEEE-exact
+			// so Inf/NaN in L propagate (see gemmNaive).
+			bkj := bj[k]
+			lk := l.Data[k*l.Stride:]
+			for i := k + 1; i < n; i++ {
+				bj[i] -= lk[i] * bkj
+			}
+		}
+	}
+}
+
+// TrsmUpperRight solves X*U = B in place (B <- B U^{-1}), where U is
+// upper triangular (non-unit) n x n and B is m x n. This is the
+// "task L" kernel: L_IK = A_IK U_KK^{-1}.
+func TrsmUpperRight(u, b View) {
+	m, n := b.Rows, b.Cols
+	if u.Rows != n || u.Cols != n {
+		panic(fmt.Sprintf("kernel: trsmU shape mismatch U %dx%d, B %dx%d", u.Rows, u.Cols, m, n))
+	}
+	if useNaiveKernels || n <= trsmBlock {
+		trsmUpperRightNaive(u, b)
+		return
+	}
+	for j0 := 0; j0 < n; j0 += trsmBlock {
+		j1 := min(j0+trsmBlock, n)
+		trsmUpperRightNaive(u.Sub(j0, j1, j0, j1), b.Sub(0, m, j0, j1))
+		if j1 < n {
+			// B2 -= X1 * U12.
+			Gemm(b.Sub(0, m, j1, n), b.Sub(0, m, j0, j1), u.Sub(j0, j1, j1, n))
+		}
+	}
+}
+
+// TrsmUpperRightNaive is the unblocked reference right solve.
+func TrsmUpperRightNaive(u, b View) {
+	m, n := b.Rows, b.Cols
+	if u.Rows != n || u.Cols != n {
+		panic(fmt.Sprintf("kernel: trsmU shape mismatch U %dx%d, B %dx%d", u.Rows, u.Cols, m, n))
+	}
+	trsmUpperRightNaive(u, b)
+}
+
+func trsmUpperRightNaive(u, b View) {
+	m, n := b.Rows, b.Cols
+	for j := 0; j < n; j++ {
+		bj := b.Data[j*b.Stride : j*b.Stride+m]
+		// b_j -= sum_{k<j} b_k * u_kj
+		for k := 0; k < j; k++ {
+			bk := b.Data[k*b.Stride : k*b.Stride+m]
+			axpy(bj, bk, -u.Data[j*u.Stride+k])
+		}
+		ujj := u.Data[j*u.Stride+j]
+		if ujj == 0 {
+			panic("kernel: trsmU singular diagonal")
+		}
+		inv := 1 / ujj
+		for i := range bj {
+			bj[i] *= inv
+		}
+	}
+}
+
+// TrsmRightLowerTrans solves X * Lᵀ = B in place (B <- B L^{-T}), with
+// L lower triangular non-unit n x n and B m x n — the TRSM variant of
+// the tiled Cholesky panel. Off-diagonal updates ride GemmNT.
+func TrsmRightLowerTrans(l, b View) {
+	m, n := b.Rows, b.Cols
+	if l.Rows != n || l.Cols != n {
+		panic(fmt.Sprintf("kernel: trsmRLT shape mismatch L %dx%d, B %dx%d", l.Rows, l.Cols, m, n))
+	}
+	if useNaiveKernels || n <= trsmBlock {
+		trsmRightLowerTransNaive(l, b)
+		return
+	}
+	for j0 := 0; j0 < n; j0 += trsmBlock {
+		j1 := min(j0+trsmBlock, n)
+		trsmRightLowerTransNaive(l.Sub(j0, j1, j0, j1), b.Sub(0, m, j0, j1))
+		if j1 < n {
+			// B2 -= X1 * L21ᵀ, with L21 = L(j1:n, j0:j1).
+			GemmNT(b.Sub(0, m, j1, n), b.Sub(0, m, j0, j1), l.Sub(j1, n, j0, j1))
+		}
+	}
+}
+
+// TrsmRightLowerTransNaive is the unblocked reference solve.
+func TrsmRightLowerTransNaive(l, b View) {
+	m, n := b.Rows, b.Cols
+	if l.Rows != n || l.Cols != n {
+		panic(fmt.Sprintf("kernel: trsmRLT shape mismatch L %dx%d, B %dx%d", l.Rows, l.Cols, m, n))
+	}
+	trsmRightLowerTransNaive(l, b)
+}
+
+func trsmRightLowerTransNaive(l, b View) {
+	m, n := b.Rows, b.Cols
+	for j := 0; j < n; j++ {
+		bj := b.Data[j*b.Stride : j*b.Stride+m]
+		for k := 0; k < j; k++ {
+			bk := b.Data[k*b.Stride : k*b.Stride+m]
+			axpy(bj, bk, -l.Data[k*l.Stride+j]) // L[j,k]
+		}
+		ljj := l.Data[j*l.Stride+j]
+		if ljj == 0 {
+			panic("kernel: trsmRLT singular diagonal")
+		}
+		inv := 1 / ljj
+		for i := range bj {
+			bj[i] *= inv
+		}
+	}
+}

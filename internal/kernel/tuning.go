@@ -1,0 +1,66 @@
+package kernel
+
+// Blocking parameters of the packed GEMM, following the classic
+// three-level Goto/BLIS decomposition:
+//
+//   - mr x nr is the register tile computed by the micro-kernel. The
+//     portable micro-kernel uses 4x4 (16 scalar accumulators); the
+//     amd64 AVX2+FMA micro-kernel uses 8x4 (eight 256-bit accumulator
+//     registers). mr and nr are variables because the platform init
+//     may swap in a wider micro-kernel.
+//   - kc limits the k extent of one packed A/B pair so that an mr x kc
+//     sliver of A plus a kc x nr sliver of B stay L1-resident while the
+//     micro-kernel streams over them.
+//   - mc limits the row extent of the packed A block (mc x kc doubles,
+//     256 KiB at the defaults) so it stays L2-resident across the whole
+//     macro-kernel sweep.
+//   - nc limits the column extent of the packed B block (kc x nc
+//     doubles, 1 MiB at the defaults), the L3-resident operand.
+//
+// mc must stay a multiple of every supported mr and nc a multiple of
+// every supported nr, so edge padding never overflows the workspace.
+const (
+	kc = 256
+	mc = 128
+	nc = 512
+
+	// maxMR/maxNR bound the register tile over all micro-kernel
+	// implementations; the macro-kernel's accumulator scratch is sized
+	// by them.
+	maxMR = 8
+	maxNR = 4
+)
+
+// mr x nr is the active register tile; overridden at init by platform
+// micro-kernels (see microkernel_amd64.go).
+var (
+	mr = 4
+	nr = 4
+)
+
+// microKernel computes acc[j*mr+i] = sum_l ap[l*mr+i]*bp[l*nr+j] for a
+// full register tile over kk packed k-steps. It must not touch C; the
+// macro-kernel subtracts acc into C afterwards, masking edge tiles.
+var microKernel = micro4x4
+
+// gemmPackedMinFlops is the m*n*k product below which the packed path
+// does not pay for its packing traffic and the dispatcher keeps the
+// naive loop nest. 32^3 was chosen by benchmarking the crossover on the
+// shapes RecursiveLU and the CALU update generate.
+const gemmPackedMinFlops = 32 * 32 * 32
+
+// packedWorthwhile reports whether C (m x n) -= A*B over k should take
+// the packed register-tiled path.
+func packedWorthwhile(m, n, k int) bool {
+	return m >= 4 && n >= 4 && k >= 4 && m*n*k >= gemmPackedMinFlops
+}
+
+// trsmBlock is the diagonal-block size of the blocked triangular
+// solves: diagonal trsmBlock x trsmBlock systems are solved by the
+// naive kernels and everything off-diagonal becomes a GEMM.
+const trsmBlock = 32
+
+// useNaiveKernels pins every dispatcher to the naive reference kernels.
+// It exists for tests (pivot-invariance and differential runs); it is
+// not a tuning knob.
+var useNaiveKernels = false

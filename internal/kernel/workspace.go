@@ -1,0 +1,73 @@
+package kernel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workspace holds the packing buffers of one in-flight packed GEMM:
+// ap receives the mc x kc block of A as mr-row panels, bp the kc x nc
+// block of B as nr-column panels. Buffers are recycled through an
+// explicit free list — not a sync.Pool, whose contents a GC cycle may
+// drop — so a Reserve'd buffer set genuinely persists for the whole
+// factorization. The rt workers call kernels concurrently and a
+// 1.3 MiB allocation per GEMM call would dominate small updates.
+type workspace struct {
+	ap []float64
+	bp []float64
+}
+
+var (
+	wsMu   sync.Mutex
+	wsFree []*workspace
+	// wsCap bounds the free list so transient bursts of concurrent
+	// GEMMs cannot pin memory forever; Reserve raises it to the
+	// caller's worker count.
+	wsCap = runtime.NumCPU()
+)
+
+func newWorkspace() *workspace {
+	return &workspace{
+		ap: make([]float64, mc*kc),
+		bp: make([]float64, kc*nc),
+	}
+}
+
+func getWorkspace() *workspace {
+	wsMu.Lock()
+	if n := len(wsFree); n > 0 {
+		w := wsFree[n-1]
+		wsFree = wsFree[:n-1]
+		wsMu.Unlock()
+		return w
+	}
+	wsMu.Unlock()
+	return newWorkspace()
+}
+
+func putWorkspace(w *workspace) {
+	wsMu.Lock()
+	if len(wsFree) < wsCap {
+		wsFree = append(wsFree, w)
+	}
+	wsMu.Unlock()
+}
+
+// Reserve ensures at least n packing-buffer sets exist on the free
+// list, one per concurrent caller. internal/rt calls it with the
+// worker count before starting a run so no task pays the first-touch
+// allocation of its pack buffers mid-factorization. It is idempotent
+// and cheap when the buffers already exist.
+func Reserve(n int) {
+	if n < 1 {
+		return
+	}
+	wsMu.Lock()
+	defer wsMu.Unlock()
+	if n > wsCap {
+		wsCap = n
+	}
+	for len(wsFree) < n {
+		wsFree = append(wsFree, newWorkspace())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/dag"
+	"repro/internal/kernel"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -47,6 +48,12 @@ func Run(g *dag.Graph, pol sched.Policy, opt Options) (Result, error) {
 	if n == 0 {
 		return Result{}, nil
 	}
+	// Reserve one packed-GEMM workspace per worker so no task pays the
+	// pack-buffer allocation mid-factorization (workers call kernels
+	// concurrently). The buffers live on a process-wide free list, so
+	// this is a one-time, bounded warm-up — graphs without kernel
+	// tasks share the same buffers on their next factorization run.
+	kernel.Reserve(opt.Workers)
 	pol.Reset(g, opt.Workers)
 
 	remaining := make([]int32, n)

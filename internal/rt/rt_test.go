@@ -1,11 +1,14 @@
 package rt
 
 import (
+	"math"
+	"math/rand"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/dag"
+	"repro/internal/kernel"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -198,5 +201,45 @@ func TestRunRecoversTaskPanic(t *testing.T) {
 	g.Tasks = append(g.Tasks, &dag.Task{ID: 0, Kind: dag.Final, Run: func() { panic("numerical failure") }})
 	if _, err := Run(g, sched.NewDynamic(), Options{Workers: 2}); err == nil {
 		t.Fatal("expected a panic-derived error")
+	}
+}
+
+// TestRunTasksUseKernelWorkspaces executes a graph whose tasks run real
+// packed GEMMs concurrently — the path rt pre-reserves kernel
+// workspaces for — and verifies every task computed the right update.
+func TestRunTasksUseKernelWorkspaces(t *testing.T) {
+	const nTasks, sz = 8, 96
+	mk := func(seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		d := make([]float64, sz*sz)
+		for i := range d {
+			d[i] = rng.NormFloat64()
+		}
+		return d
+	}
+	g := &dag.Graph{Name: "gemm-tasks", Workers: 4}
+	type job struct{ a, b, c, want []float64 }
+	jobs := make([]job, nTasks)
+	for i := range jobs {
+		jobs[i] = job{a: mk(int64(3 * i)), b: mk(int64(3*i + 1)), c: mk(int64(3*i + 2))}
+		jobs[i].want = append([]float64(nil), jobs[i].c...)
+		v := func(d []float64) kernel.View {
+			return kernel.View{Rows: sz, Cols: sz, Stride: sz, Data: d}
+		}
+		kernel.GemmNaive(v(jobs[i].want), v(jobs[i].a), v(jobs[i].b))
+		jc := i
+		g.Tasks = append(g.Tasks, &dag.Task{ID: int32(i), Kind: dag.S, Run: func() {
+			kernel.Gemm(v(jobs[jc].c), v(jobs[jc].a), v(jobs[jc].b))
+		}})
+	}
+	if _, err := Run(g, sched.NewDynamic(), Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		for e := range j.c {
+			if d := math.Abs(j.c[e] - j.want[e]); d > 1e-11 {
+				t.Fatalf("task %d element %d off by %g", i, e, d)
+			}
+		}
 	}
 }
