@@ -15,10 +15,12 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/dag"
 	"repro/internal/experiments"
 	"repro/internal/kernel"
 	"repro/internal/layout"
 	"repro/internal/mat"
+	"repro/internal/rt"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -270,6 +272,14 @@ func BenchmarkKernelGemmNaive512(b *testing.B) { benchGemm(b, 512, kernel.GemmNa
 
 func BenchmarkKernelGemmNT256(b *testing.B) { benchGemm(b, 256, kernel.GemmNT) }
 
+// Sub-crossover products: the direct register-tiled small path (the
+// dispatcher's choice below 32^3) against the naive axpy nest it
+// replaced.
+func BenchmarkKernelGemmSmall16(b *testing.B)      { benchGemm(b, 16, kernel.Gemm) }
+func BenchmarkKernelGemmSmall24(b *testing.B)      { benchGemm(b, 24, kernel.Gemm) }
+func BenchmarkKernelGemmSmallNaive16(b *testing.B) { benchGemm(b, 16, kernel.GemmNaive) }
+func BenchmarkKernelGemmSmallNaive24(b *testing.B) { benchGemm(b, 24, kernel.GemmNaive) }
+
 func benchTrsmLower(b *testing.B, n int, trsm func(l, x kernel.View)) {
 	b.Helper()
 	l := RandomMatrix(n, n, 4)
@@ -314,6 +324,70 @@ func BenchmarkKernelGetf2(b *testing.B) {
 		b.StartTimer()
 		if err := kernel.Getf2(viewOf(work), piv); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Dispatch overhead: scheduler throughput isolated from kernel time.
+
+// dispatchBenchGraph builds depth layers of width no-op tasks, each
+// depending on the same-index task of the previous layer, so readiness
+// flows continuously and every completion exercises atomic dependency
+// resolution plus one enqueue. Run closures are nil: the runtime's
+// dispatch loop is the entire measured cost.
+func dispatchBenchGraph(width, depth int) *dag.Graph {
+	g := &dag.Graph{Name: "dispatch-bench"}
+	for d := 0; d < depth; d++ {
+		for w := 0; w < width; w++ {
+			id := int32(d*width + w)
+			t := &dag.Task{ID: id, Kind: dag.S, Owner: w, Static: w%2 == 0, Prio: int64(id)}
+			if d > 0 {
+				up := g.Tasks[(d-1)*width+w]
+				up.Outs = append(up.Outs, id)
+				t.NumDeps = 1
+			}
+			g.Tasks = append(g.Tasks, t)
+		}
+	}
+	return g
+}
+
+// BenchmarkDispatch measures tasks/second of the real runtime on
+// graphs of no-op tasks — the paper's dequeue-overhead quantity finally
+// separated from kernel time. The `locked` variants run the same
+// policies under the seed runtime's single global mutex: their
+// tasks/sec flatline (or degrade) beyond a couple of workers, while
+// the concurrent runtime's throughput grows with the worker count.
+func BenchmarkDispatch(b *testing.B) {
+	const width, depth = 256, 40
+	policies := []struct {
+		name string
+		mk   func() sched.Policy
+	}{
+		{"static", func() sched.Policy { return sched.NewStatic() }},
+		{"dynamic", func() sched.Policy { return sched.NewDynamic() }},
+		{"hybrid", func() sched.Policy { return sched.NewHybrid() }},
+		{"worksteal", func() sched.Policy { return sched.NewWorkStealing(9) }},
+	}
+	for _, mode := range []string{"concurrent", "locked"} {
+		for _, pol := range policies {
+			for _, workers := range []int{1, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%s/w%d", mode, pol.name, workers), func(b *testing.B) {
+					g := dispatchBenchGraph(width, depth)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						_, err := rt.Run(g, pol.mk(), rt.Options{
+							Workers: workers, GlobalLock: mode == "locked",
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					tasks := float64(width*depth) * float64(b.N)
+					b.ReportMetric(tasks/b.Elapsed().Seconds(), "tasks/s")
+				})
+			}
 		}
 	}
 }

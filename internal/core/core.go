@@ -74,6 +74,12 @@ type Options struct {
 	Noise func(worker int) time.Duration
 	// Seed feeds the work-stealing victim selection.
 	Seed int64
+
+	// globalLock (tests only) runs the scheduler under the serialized
+	// single-mutex dispatcher instead of the concurrent runtime: the A/B
+	// reference the scheduler-equivalence tests compare bit-for-bit
+	// against.
+	globalLock bool
 }
 
 func (o *Options) fill() {
@@ -163,7 +169,9 @@ func Factor(a *mat.Dense, opt Options) (*Factorization, error) {
 	if err := cg.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid CALU graph: %w", err)
 	}
-	res, err := rt.Run(cg.Graph, opt.policy(), rt.Options{Workers: opt.Workers, Trace: opt.Trace, Noise: opt.Noise})
+	res, err := rt.Run(cg.Graph, opt.policy(), rt.Options{
+		Workers: opt.Workers, Trace: opt.Trace, Noise: opt.Noise, GlobalLock: opt.globalLock,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/mat"
+)
+
+// sameFactorization fails the test unless f and ref have bit-identical
+// pivot sequences and factors.
+func sameFactorization(t *testing.T, tag string, f, ref *Factorization) {
+	t.Helper()
+	for i := range ref.Perm {
+		if f.Perm[i] != ref.Perm[i] {
+			t.Fatalf("%s: pivot %d differs: %d vs %d", tag, i, f.Perm[i], ref.Perm[i])
+		}
+	}
+	for i := range ref.L.Data {
+		if f.L.Data[i] != ref.L.Data[i] {
+			t.Fatalf("%s: L[%d] differs: %x vs %x",
+				tag, i, math.Float64bits(f.L.Data[i]), math.Float64bits(ref.L.Data[i]))
+		}
+	}
+	for i := range ref.U.Data {
+		if f.U.Data[i] != ref.U.Data[i] {
+			t.Fatalf("%s: U[%d] differs: %x vs %x",
+				tag, i, math.Float64bits(f.U.Data[i]), math.Float64bits(ref.U.Data[i]))
+		}
+	}
+}
+
+// TestFactorBitIdenticalAcrossPoliciesAndDispatchers is the end-to-end
+// guarantee the concurrent runtime must preserve. For a fixed worker
+// count the task graph — including the tournament-pivoting tree, whose
+// bracket follows the worker grid — is fixed, so its dataflow
+// determines the arithmetic completely: every scheduling policy, and
+// both the serialized global-lock dispatcher (the seed runtime's
+// behaviour) and the concurrent lock-free runtime, must produce
+// BIT-identical pivot sequences and factors. Any scheduling-dependent
+// arithmetic — a lost update, a task run before its dependencies, a
+// double execution — shows up here as a bit difference. Run under
+// -race to also certify the dispatch paths.
+func TestFactorBitIdenticalAcrossPoliciesAndDispatchers(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sizes := [][2]int{{96, 96}, {120, 72}}
+	if testing.Short() {
+		sizes = sizes[:1]
+	}
+	for _, sz := range sizes {
+		m, n := sz[0], sz[1]
+		a := mat.Random(m, n, rng)
+		for _, workers := range []int{1, 2, 4, 8} {
+			// Reference: the same graph under the serialized global-lock
+			// dispatcher — the old serial execution order.
+			ref, err := Factor(a, Options{
+				Block: 8, Workers: workers, Scheduler: ScheduleHybrid,
+				DynamicRatio: 0.3, globalLock: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r := Residual(a, ref); r > 1e-12 {
+				t.Fatalf("%dx%d workers=%d: reference residual %g too large", m, n, workers, r)
+			}
+			for _, s := range []Scheduler{ScheduleStatic, ScheduleDynamic, ScheduleHybrid, ScheduleWorkStealing} {
+				f, err := Factor(a, Options{
+					Block: 8, Workers: workers, Scheduler: s,
+					DynamicRatio: 0.3, Seed: int64(workers),
+				})
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", s, workers, err)
+				}
+				tag := s.String() + "/" + string(rune('0'+workers)) + "w"
+				sameFactorization(t, tag, f, ref)
+				if r := Residual(a, f); r > 1e-12 {
+					t.Fatalf("%s workers=%d: residual %g too large", s, workers, r)
+				}
+			}
+		}
+	}
+}
+
+// TestFactorBitIdenticalAcrossLayoutsUnderConcurrency repeats the
+// equivalence check on the other storage schemes at one contended
+// configuration each, so layout-specific task closures are also covered
+// by the race certification.
+func TestFactorBitIdenticalAcrossLayoutsUnderConcurrency(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	a := mat.Random(80, 80, rng)
+	for _, lay := range []layout.Kind{layout.BCL, layout.CM, layout.TwoLevel} {
+		ref, err := Factor(a, Options{
+			Layout: lay, Block: 8, Workers: 8, Scheduler: ScheduleHybrid,
+			DynamicRatio: 0.25, globalLock: true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", lay, err)
+		}
+		f, err := Factor(a, Options{
+			Layout: lay, Block: 8, Workers: 8, Scheduler: ScheduleHybrid, DynamicRatio: 0.25,
+		})
+		if err != nil {
+			t.Fatalf("%v workers=8: %v", lay, err)
+		}
+		sameFactorization(t, lay.String(), f, ref)
+	}
+}

@@ -11,7 +11,10 @@
 // behaviour under study is identical in the two modes.
 package dag
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Kind labels a task with the paper's taxonomy (section 2): P tasks
 // participate in TSLU preprocessing, L/U compute the panel factors, S
@@ -102,12 +105,22 @@ type Task struct {
 	// only for simulation).
 	Run func()
 
-	// NumDeps is the static in-degree; scheduling state (remaining
-	// dependency count) lives in the runtime, not here, so a Graph can
-	// be executed many times.
+	// NumDeps is the static in-degree. It is immutable once the graph
+	// is built; the mutable remaining-dependency counter lives in the
+	// unexported `remaining` field below and is re-armed by ResetDeps,
+	// so a Graph can be executed many times.
 	NumDeps int32
 	// Outs lists dependent task IDs.
 	Outs []int32
+
+	// remaining counts unsatisfied dependencies during one execution.
+	// It is decremented atomically by ResolveSuccessors so that task
+	// completion can resolve and enqueue ready successors from many
+	// workers at once without a global lock. One Graph supports one
+	// execution at a time (serial simulator or concurrent runtime);
+	// concurrent executions of the same Graph value would share this
+	// counter and must clone the graph instead.
+	remaining atomic.Int32
 }
 
 // Graph is an immutable task DAG plus bookkeeping shared by runtimes.
@@ -117,6 +130,39 @@ type Graph struct {
 	Workers int
 	// Name describes the algorithm for traces and error messages.
 	Name string
+}
+
+// ResetDeps arms the graph for one execution: every task's remaining-
+// dependency counter is reset to its static in-degree. It returns the
+// initially ready (zero-dependency) tasks in ID order, which keeps the
+// serial simulator's seeding deterministic. Must not run concurrently
+// with an execution of the same graph.
+func (g *Graph) ResetDeps() []*Task {
+	var ready []*Task
+	for _, t := range g.Tasks {
+		t.remaining.Store(t.NumDeps)
+		if t.NumDeps == 0 {
+			ready = append(ready, t)
+		}
+	}
+	return ready
+}
+
+// ResolveSuccessors records the completion of t: each successor's
+// remaining-dependency counter is decremented atomically, and the ones
+// that reach zero — now ready to run — are appended to ready, which is
+// returned (pass a scratch slice to avoid allocation). It is safe to
+// call from many goroutines for different completed tasks; each
+// successor reaches zero exactly once, so exactly one caller enqueues
+// it.
+func (g *Graph) ResolveSuccessors(t *Task, ready []*Task) []*Task {
+	for _, o := range t.Outs {
+		s := g.Tasks[o]
+		if s.remaining.Add(-1) == 0 {
+			ready = append(ready, s)
+		}
+	}
+	return ready
 }
 
 // priority computes the global ordering key: column-major (left to

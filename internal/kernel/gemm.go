@@ -6,18 +6,23 @@ import "fmt"
 // alpha=-1, beta=1), with A m x k, B k x n, C m x n.
 //
 // Large products take the packed register-tiled path (pack.go,
-// microkernel*.go); small ones keep the naive j-k-i axpy nest, whose
-// packing-free startup wins below the gemmPackedMinFlops crossover.
-// Both paths are exact-arithmetic equivalents up to floating-point
-// reassociation; GemmNaive is retained as the correctness oracle.
+// microkernel*.go); products below the gemmPackedMinFlops crossover,
+// which can never amortize the packing traffic, take the direct
+// register-tiled small path (smallgemm.go). All paths are
+// exact-arithmetic equivalents up to floating-point reassociation;
+// GemmNaive is retained as the correctness oracle.
 func Gemm(c, a, b View) {
 	m, n, k := c.Rows, c.Cols, a.Cols
 	if a.Rows != m || b.Rows != k || b.Cols != n {
 		panic(fmt.Sprintf("kernel: gemm shape mismatch C %dx%d, A %dx%d, B %dx%d",
 			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	if useNaiveKernels || !packedWorthwhile(m, n, k) {
+	if useNaiveKernels {
 		gemmNaive(c, a, b)
+		return
+	}
+	if !packedWorthwhile(m, n, k) {
+		gemmSmall(c, a, b, false)
 		return
 	}
 	gemmPacked(c, a, b, false)
@@ -33,8 +38,12 @@ func GemmNT(c, a, b View) {
 		panic(fmt.Sprintf("kernel: gemmNT shape mismatch C %dx%d, A %dx%d, B %dx%d",
 			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	if useNaiveKernels || !packedWorthwhile(m, n, k) {
+	if useNaiveKernels {
 		gemmNTNaive(c, a, b)
+		return
+	}
+	if !packedWorthwhile(m, n, k) {
+		gemmSmall(c, a, b, true)
 		return
 	}
 	gemmPacked(c, a, b, true)

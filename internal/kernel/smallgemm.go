@@ -1,0 +1,123 @@
+package kernel
+
+// Small-product fast path: products below the packed path's
+// gemmPackedMinFlops crossover used to fall back to the naive axpy loop
+// nest, which keeps C's column resident but reloads A from memory for
+// every column of B. gemmSmall instead walks 4x4 register tiles
+// directly over the strided views — the packed micro-kernel's dataflow
+// without the packing traffic, which a sub-32^3 product can never
+// amortize. The CALU trailing update's tiny edge blocks and the
+// simulator's small cases all land here.
+
+// gemmSmall computes C -= A*B (or C -= A*Bᵀ when bTrans), with all
+// operands read in place. Callers guarantee shape agreement.
+func gemmSmall(c, a, b View, bTrans bool) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	mq, nq := m&^3, n&^3
+	for j := 0; j < nq; j += 4 {
+		for i := 0; i < mq; i += 4 {
+			smallTile4x4(c, a, b, i, j, k, bTrans)
+		}
+		for i := mq; i < m; i++ {
+			smallRow1x4(c, a, b, i, j, k, bTrans)
+		}
+	}
+	// Leftover columns: per-column axpy sweep over all rows.
+	for j := nq; j < n; j++ {
+		cj := c.Data[j*c.Stride : j*c.Stride+m]
+		for l := 0; l < k; l++ {
+			var bv float64
+			if bTrans {
+				bv = b.Data[l*b.Stride+j]
+			} else {
+				bv = b.Data[j*b.Stride+l]
+			}
+			axpy(cj, a.Data[l*a.Stride:l*a.Stride+m], -bv)
+		}
+	}
+}
+
+// smallTile4x4 accumulates one full 4x4 tile of A*B in sixteen scalar
+// registers and subtracts it into C — the portable micro-kernel applied
+// to unpacked, strided operands.
+func smallTile4x4(c, a, b View, i, j, k int, bTrans bool) {
+	var c00, c10, c20, c30 float64
+	var c01, c11, c21, c31 float64
+	var c02, c12, c22, c32 float64
+	var c03, c13, c23, c33 float64
+	for l := 0; l < k; l++ {
+		ai := a.Data[l*a.Stride+i : l*a.Stride+i+4 : l*a.Stride+i+4]
+		a0, a1, a2, a3 := ai[0], ai[1], ai[2], ai[3]
+		var b0, b1, b2, b3 float64
+		if bTrans {
+			// B is n x k: row j..j+3 of column l is contiguous.
+			bj := b.Data[l*b.Stride+j : l*b.Stride+j+4 : l*b.Stride+j+4]
+			b0, b1, b2, b3 = bj[0], bj[1], bj[2], bj[3]
+		} else {
+			b0 = b.Data[j*b.Stride+l]
+			b1 = b.Data[(j+1)*b.Stride+l]
+			b2 = b.Data[(j+2)*b.Stride+l]
+			b3 = b.Data[(j+3)*b.Stride+l]
+		}
+		c00 += a0 * b0
+		c10 += a1 * b0
+		c20 += a2 * b0
+		c30 += a3 * b0
+		c01 += a0 * b1
+		c11 += a1 * b1
+		c21 += a2 * b1
+		c31 += a3 * b1
+		c02 += a0 * b2
+		c12 += a1 * b2
+		c22 += a2 * b2
+		c32 += a3 * b2
+		c03 += a0 * b3
+		c13 += a1 * b3
+		c23 += a2 * b3
+		c33 += a3 * b3
+	}
+	c0 := c.Data[j*c.Stride+i : j*c.Stride+i+4 : j*c.Stride+i+4]
+	c0[0] -= c00
+	c0[1] -= c10
+	c0[2] -= c20
+	c0[3] -= c30
+	c1 := c.Data[(j+1)*c.Stride+i : (j+1)*c.Stride+i+4 : (j+1)*c.Stride+i+4]
+	c1[0] -= c01
+	c1[1] -= c11
+	c1[2] -= c21
+	c1[3] -= c31
+	c2 := c.Data[(j+2)*c.Stride+i : (j+2)*c.Stride+i+4 : (j+2)*c.Stride+i+4]
+	c2[0] -= c02
+	c2[1] -= c12
+	c2[2] -= c22
+	c2[3] -= c32
+	c3 := c.Data[(j+3)*c.Stride+i : (j+3)*c.Stride+i+4 : (j+3)*c.Stride+i+4]
+	c3[0] -= c03
+	c3[1] -= c13
+	c3[2] -= c23
+	c3[3] -= c33
+}
+
+// smallRow1x4 handles one leftover row against a full quad of columns.
+func smallRow1x4(c, a, b View, i, j, k int, bTrans bool) {
+	var s0, s1, s2, s3 float64
+	for l := 0; l < k; l++ {
+		av := a.Data[l*a.Stride+i]
+		if bTrans {
+			bj := b.Data[l*b.Stride+j : l*b.Stride+j+4 : l*b.Stride+j+4]
+			s0 += av * bj[0]
+			s1 += av * bj[1]
+			s2 += av * bj[2]
+			s3 += av * bj[3]
+		} else {
+			s0 += av * b.Data[j*b.Stride+l]
+			s1 += av * b.Data[(j+1)*b.Stride+l]
+			s2 += av * b.Data[(j+2)*b.Stride+l]
+			s3 += av * b.Data[(j+3)*b.Stride+l]
+		}
+	}
+	c.Data[j*c.Stride+i] -= s0
+	c.Data[(j+1)*c.Stride+i] -= s1
+	c.Data[(j+2)*c.Stride+i] -= s2
+	c.Data[(j+3)*c.Stride+i] -= s3
+}

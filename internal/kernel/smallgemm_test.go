@@ -1,0 +1,94 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestGemmSmallMatchesNaiveProperty drives the direct register-tiled
+// small path against the naive oracle over random sub-crossover shapes
+// and strides.
+func TestGemmSmallMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(40)
+		n := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(40)
+		a := randView(rng, m, k)
+		b := randView(rng, k, n)
+		c1 := randView(rng, m, n)
+		c2 := cloneView(c1)
+		gemmSmall(c1, a, b, false)
+		gemmNaive(c2, a, b)
+		return maxAbsDiffBacking(c1, c2) <= gemmTol(c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGemmNTSmallMatchesNaiveProperty is the transposed-B variant.
+func TestGemmNTSmallMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(40)
+		n := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(40)
+		a := randView(rng, m, k)
+		b := randView(rng, n, k)
+		c1 := randView(rng, m, n)
+		c2 := cloneView(c1)
+		gemmSmall(c1, a, b, true)
+		gemmNTNaive(c2, a, b)
+		return maxAbsDiffBacking(c1, c2) <= gemmTol(c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGemmSmallEdgeSizes pins the small path on degenerate and
+// tile-boundary shapes: empty extents, single rows/columns, and every
+// combination of quad-aligned and ragged edges.
+func TestGemmSmallEdgeSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	dims := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 31}
+	for _, m := range dims {
+		for _, n := range dims {
+			for _, k := range dims {
+				a := randView(rng, m, k)
+				b := randView(rng, k, n)
+				c1 := randView(rng, m, n)
+				c2 := cloneView(c1)
+				gemmSmall(c1, a, b, false)
+				gemmNaive(c2, a, b)
+				if maxAbsDiffBacking(c1, c2) > gemmTol(c2) {
+					t.Fatalf("small gemm wrong at m=%d n=%d k=%d", m, n, k)
+				}
+			}
+		}
+	}
+}
+
+// TestGemmSmallPropagatesNonFinite: the small path must keep the IEEE
+// semantics of the other paths — Inf in A against a zero in B surfaces
+// as NaN instead of being skipped.
+func TestGemmSmallPropagatesNonFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m, n, k := 9, 6, 8
+	a := randView(rng, m, k)
+	b := randView(rng, k, n)
+	c := randView(rng, m, n)
+	a.Set(1, 3, math.Inf(1))
+	for j := 0; j < n; j++ {
+		b.Set(3, j, 0)
+	}
+	gemmSmall(c, a, b, false)
+	for j := 0; j < n; j++ {
+		if !math.IsNaN(c.At(1, j)) {
+			t.Fatalf("Inf*0 did not propagate NaN to column %d", j)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package rt
+
+import "sync/atomic"
+
+// waker is the per-worker park/unpark primitive that replaces the seed
+// runtime's global cond.Broadcast thundering herd. Each worker parks on
+// its own one-permit semaphore channel; a wake deposits a permit, and
+// because the permit persists until consumed, a wake that races ahead
+// of the park is never lost — no ticket or sequence protocol needed.
+//
+// Wakes are targeted: a task pinned to worker w's queue wakes exactly
+// w (waking anyone else would let the signal be absorbed by a worker
+// that cannot pop the task, and the run would deadlock once everyone
+// parks); a task poppable by anyone wakes one currently parked worker,
+// found by scanning the parked flags. The flag/queue ordering makes
+// the scan safe: a parker publishes parked[w]=true before its final
+// queue re-check, and a waker publishes the task before scanning the
+// flags, so (with sequentially consistent atomics) either the waker
+// sees the parked flag or the parker's re-check sees the task.
+type waker struct {
+	sem    []chan struct{}
+	parked []atomic.Bool
+	// rotor spreads successive wake-anyone scans across workers so one
+	// completion fanning out several shared tasks wakes several
+	// distinct sleepers.
+	rotor atomic.Uint32
+}
+
+func (k *waker) init(workers int) {
+	k.sem = make([]chan struct{}, workers)
+	k.parked = make([]atomic.Bool, workers)
+	for w := range k.sem {
+		k.sem[w] = make(chan struct{}, 1)
+	}
+}
+
+// prepare publishes that w is about to park. The caller must re-check
+// its queues (and the run's termination state) after this call and
+// before calling park.
+func (k *waker) prepare(w int) { k.parked[w].Store(true) }
+
+// cancel withdraws a prepare without parking (work or termination was
+// found on the re-check).
+func (k *waker) cancel(w int) { k.parked[w].Store(false) }
+
+// park blocks until a permit arrives (or consumes one already
+// deposited). Stale permits from earlier races cause a harmless
+// spurious wakeup: the worker just re-checks its queues and may park
+// again.
+func (k *waker) park(w int) {
+	<-k.sem[w]
+	k.parked[w].Store(false)
+}
+
+// permit deposits w's wake permit (idempotent while one is pending).
+func (k *waker) permit(w int) {
+	select {
+	case k.sem[w] <- struct{}{}:
+	default:
+	}
+}
+
+// wakeOwner wakes the specific worker a pinned task belongs to. Waking
+// the depositor itself is skipped: it is awake by definition and will
+// pop its own queue on its next dispatch iteration.
+func (k *waker) wakeOwner(owner, self int) {
+	if owner != self {
+		k.permit(owner)
+	}
+}
+
+// wakeAny wakes one parked worker (preferring one without a pending
+// permit, so consecutive calls fan out), or nobody if none is parked —
+// in which case every awake worker will find the shared task through
+// its normal dispatch loop.
+func (k *waker) wakeAny(self int) {
+	n := len(k.sem)
+	start := int(k.rotor.Add(1) % uint32(n))
+	for i := 0; i < n; i++ {
+		w := (start + i) % n
+		if w == self || !k.parked[w].Load() {
+			continue
+		}
+		if len(k.sem[w]) == 0 {
+			k.permit(w)
+			return
+		}
+	}
+}
+
+// wakeAll deposits a permit for every worker (termination, failure, or
+// an opaque policy behind the global-lock adapter).
+func (k *waker) wakeAll() {
+	for w := range k.sem {
+		k.permit(w)
+	}
+}

@@ -1,15 +1,24 @@
 // Package rt executes a task dependency graph with real goroutine
 // workers, performing the actual factorization arithmetic on the
-// layout's storage. It drives a sched.Policy under one lock, mirroring
-// the discrete-event simulator in internal/sim so that the scheduling
-// decisions under study are identical in both modes; rt is the
-// correctness-bearing mode (numerics verified end to end) and the mode
-// the examples and the tuning CLI run in.
+// layout's storage. Dispatch is contention-free: workers pull from a
+// sched.ConcurrentPolicy (per-worker queues, lock-free deques),
+// dependency resolution is atomic on the graph itself (dag.
+// ResolveSuccessors), progress tracking is two atomic counters, idle
+// workers spin briefly and then park on an eventcount instead of a
+// broadcast condvar, and trace spans are buffered per worker and merged
+// once at the end. The discrete-event simulator in internal/sim drives
+// the same policies through their serial adapters, so the scheduling
+// decisions under study stay deterministic there while rt runs them at
+// full hardware concurrency; rt is the correctness-bearing mode
+// (numerics verified end to end) and the mode the examples and the
+// tuning CLI run in.
 package rt
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dag"
@@ -29,6 +38,11 @@ type Options struct {
 	// failure-injection hook used to emulate transient OS interference
 	// (the paper's delta_i) in real mode.
 	Noise func(worker int) time.Duration
+	// GlobalLock forces the policy to run under one mutex — the seed
+	// runtime's serialized dispatcher, kept as an A/B baseline so
+	// BenchmarkDispatch can measure what the global lock used to cost.
+	// Never set it in production paths.
+	GlobalLock bool
 }
 
 // Result reports a real execution.
@@ -37,9 +51,45 @@ type Result struct {
 	Counters sched.Counters
 }
 
+// spinCount is how many failed dequeue attempts a worker tolerates
+// (yielding between attempts) before it parks. Spinning bridges the
+// common short gaps between task completions without paying the
+// park/unpark futex round trip; parking keeps long waits off the CPU.
+const spinCount = 64
+
+// run is the shared state of one execution.
+type run struct {
+	g  *dag.Graph
+	cp sched.ConcurrentPolicy
+	n  int64
+
+	// outstanding counts tasks that are ready or running. A completing
+	// worker increments it for each newly ready successor before
+	// decrementing it for itself, so it can only reach zero when no
+	// task is queued or in flight anywhere — at which point it can
+	// never rise again. outstanding==0 with completed<n is therefore a
+	// sound and stable stuck-graph verdict, with no lock and no
+	// multi-counter read races.
+	outstanding atomic.Int64
+	completed   atomic.Int64
+	failure     atomic.Pointer[error]
+
+	wk waker
+}
+
+func (r *run) done() bool {
+	return r.failure.Load() != nil || r.completed.Load() == r.n
+}
+
+// fail records the first error and releases every parked worker.
+func (r *run) fail(err error) {
+	r.failure.CompareAndSwap(nil, &err)
+	r.wk.wakeAll()
+}
+
 // Run executes g to completion under the given policy and returns the
-// wall-clock makespan. It panics on a structurally stuck graph (a bug
-// in the DAG builder), because no caller can make progress from that.
+// wall-clock makespan. A structurally stuck graph (a bug in the DAG
+// builder) is reported as an error, as is a panicking task.
 func Run(g *dag.Graph, pol sched.Policy, opt Options) (Result, error) {
 	if opt.Workers < 1 {
 		return Result{}, fmt.Errorf("rt: need at least one worker, got %d", opt.Workers)
@@ -54,23 +104,32 @@ func Run(g *dag.Graph, pol sched.Policy, opt Options) (Result, error) {
 	// this is a one-time, bounded warm-up — graphs without kernel
 	// tasks share the same buffers on their next factorization run.
 	kernel.Reserve(opt.Workers)
-	pol.Reset(g, opt.Workers)
 
-	remaining := make([]int32, n)
-	for i, t := range g.Tasks {
-		remaining[i] = t.NumDeps
+	var cp sched.ConcurrentPolicy
+	if opt.GlobalLock {
+		cp = sched.NewLocked(pol)
+	} else {
+		cp = sched.Concurrent(pol)
+	}
+	cp.Reset(g, opt.Workers)
+
+	roots := g.ResetDeps()
+	if len(roots) == 0 {
+		return Result{}, fmt.Errorf("rt: graph %q stuck with 0/%d tasks done", g.Name, n)
+	}
+	r := &run{g: g, cp: cp, n: int64(n)}
+	r.wk.init(opt.Workers)
+	r.outstanding.Store(int64(len(roots)))
+	for _, t := range roots {
+		cp.Ready(sched.SeedWorker, t)
 	}
 
-	var mu sync.Mutex
-	cond := sync.NewCond(&mu)
-	completed := 0
-	executing := 0
-	var stuck error
-
-	for _, t := range g.Tasks {
-		if t.NumDeps == 0 {
-			pol.Ready(t)
-		}
+	// Per-worker span buffers: workers never touch the shared Trace
+	// during the run, so the hot path has no shared-slice growth and no
+	// false sharing on neighbouring timelines.
+	var spans [][]trace.Span
+	if opt.Trace != nil {
+		spans = make([][]trace.Span, opt.Workers)
 	}
 
 	start := time.Now()
@@ -79,76 +138,136 @@ func Run(g *dag.Graph, pol sched.Policy, opt Options) (Result, error) {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for {
-				mu.Lock()
-				var t *dag.Task
-				for {
-					if completed == n || stuck != nil {
-						mu.Unlock()
-						return
-					}
-					t = pol.Next(worker)
-					if t != nil {
-						break
-					}
-					if executing == 0 && pol.ReadyCount() == 0 {
-						// Nothing running, nothing ready, graph unfinished:
-						// the dependency structure is broken.
-						stuck = fmt.Errorf("rt: graph %q stuck with %d/%d tasks done", g.Name, completed, n)
-						cond.Broadcast()
-						mu.Unlock()
-						return
-					}
-					cond.Wait()
-				}
-				executing++
-				mu.Unlock()
-
-				t0 := time.Since(start).Seconds()
-				if t.Run != nil {
-					if err := runTask(t); err != nil {
-						mu.Lock()
-						if stuck == nil {
-							stuck = err
-						}
-						executing--
-						cond.Broadcast()
-						mu.Unlock()
-						return
-					}
-				}
-				t1 := time.Since(start).Seconds()
-				if opt.Trace != nil {
-					opt.Trace.Add(worker, t.ID, trace.KindLabel(t.Kind.String()), t0, t1)
-				}
-				if opt.Noise != nil {
-					if d := opt.Noise(worker); d > 0 {
-						spinFor(d)
-						if opt.Trace != nil {
-							opt.Trace.Add(worker, -1, 'N', t1, time.Since(start).Seconds())
-						}
-					}
-				}
-
-				mu.Lock()
-				executing--
-				completed++
-				for _, o := range t.Outs {
-					remaining[o]--
-					if remaining[o] == 0 {
-						pol.Ready(g.Tasks[o])
-					}
-				}
-				cond.Broadcast()
-				mu.Unlock()
+			local := r.worker(worker, start, opt)
+			if spans != nil {
+				spans[worker] = local
 			}
 		}(w)
 	}
 	wg.Wait()
-	if stuck != nil {
-		return Result{}, stuck
+	if opt.Trace != nil {
+		for w, s := range spans {
+			opt.Trace.Merge(w, s)
+		}
 	}
-	return Result{Makespan: time.Since(start), Counters: pol.Counters()}, nil
+	if errp := r.failure.Load(); errp != nil {
+		return Result{}, *errp
+	}
+	return Result{Makespan: time.Since(start), Counters: cp.Counters()}, nil
+}
+
+// worker is one dispatch loop. It returns its locally buffered trace
+// spans (nil when tracing is off).
+func (r *run) worker(w int, start time.Time, opt Options) []trace.Span {
+	var local []trace.Span
+	scratch := make([]*dag.Task, 0, 8)
+	for {
+		t := r.next(w)
+		if t == nil {
+			return local
+		}
+		// The hot loop only reads the clock when someone consumes the
+		// timestamps; on a no-op task graph two time.Since calls would
+		// otherwise dominate the dispatch cost BenchmarkDispatch exists
+		// to measure.
+		var t0 float64
+		if opt.Trace != nil {
+			t0 = time.Since(start).Seconds()
+		}
+		if t.Run != nil {
+			if err := runTask(t); err != nil {
+				r.fail(err)
+				return local
+			}
+		}
+		var t1 float64
+		if opt.Trace != nil {
+			t1 = time.Since(start).Seconds()
+			local = append(local, trace.Span{
+				TaskID: t.ID, Label: trace.KindLabel(t.Kind.String()), Start: t0, End: t1,
+			})
+		}
+		if opt.Noise != nil {
+			if d := opt.Noise(w); d > 0 {
+				spinFor(d)
+				if opt.Trace != nil {
+					local = append(local, trace.Span{
+						TaskID: -1, Label: 'N', Start: t1, End: time.Since(start).Seconds(),
+					})
+				}
+			}
+		}
+
+		// Completion: resolve successors atomically and publish the
+		// newly ready ones before giving up this task's own claim on
+		// `outstanding` (see the field comment for why this order makes
+		// the stuck check sound).
+		scratch = r.g.ResolveSuccessors(t, scratch[:0])
+		if len(scratch) > 0 {
+			r.outstanding.Add(int64(len(scratch)))
+			for _, s := range scratch {
+				switch hint := r.cp.Ready(w, s); hint {
+				case sched.AnyWorker:
+					r.wk.wakeAny(w)
+				case sched.AllWorkers:
+					r.wk.wakeAll()
+				default:
+					r.wk.wakeOwner(hint, w)
+				}
+			}
+		}
+		done := r.completed.Add(1)
+		left := r.outstanding.Add(-1)
+		if done == r.n {
+			r.wk.wakeAll()
+			return local
+		}
+		if left == 0 {
+			// outstanding hit zero: nothing is queued or in flight
+			// anywhere, so `completed` is final — but our own `done`
+			// snapshot may predate other workers' final increments, so
+			// re-read it before declaring the graph stuck.
+			if final := r.completed.Load(); final != r.n {
+				r.fail(fmt.Errorf("rt: graph %q stuck with %d/%d tasks done", r.g.Name, final, r.n))
+			}
+			return local
+		}
+	}
+}
+
+// next returns the worker's next task, spinning briefly and then
+// parking while the queues are empty. It returns nil when the run is
+// over (all tasks completed, or a failure was recorded).
+func (r *run) next(w int) *dag.Task {
+	spins := 0
+	for {
+		if r.done() {
+			return nil
+		}
+		if t := r.cp.Next(w); t != nil {
+			return t
+		}
+		if spins < spinCount {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		// Publish the parked flag, then re-check: a waker publishes its
+		// task before scanning the flags, so either it sees us parked
+		// and deposits a permit, or this re-check sees its task — a
+		// wake between our failed Next and the park cannot be lost.
+		r.wk.prepare(w)
+		if r.done() {
+			r.wk.cancel(w)
+			return nil
+		}
+		if t := r.cp.Next(w); t != nil {
+			r.wk.cancel(w)
+			return t
+		}
+		r.wk.park(w)
+		spins = 0
+	}
 }
 
 // runTask executes a task's closure, converting panics (numerical
@@ -166,12 +285,18 @@ func runTask(t *dag.Task) (err error) {
 
 // spinFor burns CPU for roughly d, emulating a compute-stealing daemon
 // rather than a blocking wait (sleeping would free the core, which is
-// not what OS noise does).
+// not what OS noise does). The deadline is checked once per ~16k
+// additions (pre-checked, so a non-positive d burns nothing): time.Now
+// itself costs tens of nanoseconds, and calling it every 1024 additions
+// (as the seed runtime did) made the spin mostly clock calls rather
+// than arithmetic, so the burned compute per injected delta depended on
+// the clock source. The coarser check bounds the overshoot of one
+// block (~16k adds) while keeping clock overhead under 1%.
 func spinFor(d time.Duration) {
 	deadline := time.Now().Add(d)
 	x := 0.0
 	for time.Now().Before(deadline) {
-		for i := 0; i < 1024; i++ {
+		for i := 0; i < 16384; i++ {
 			x += float64(i)
 		}
 	}

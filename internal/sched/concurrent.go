@@ -1,0 +1,390 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/dag"
+)
+
+// This file holds the concurrent drivers: the thread-safe form of each
+// policy used by the real goroutine runtime. The design goal is that no
+// two workers ever contend on a lock unless the policy semantically
+// shares a queue: owner queues are per-worker with their own mutex, the
+// shared dynamic heap has exactly one mutex of its own, work stealing
+// is lock-free (Chase-Lev deques, per-worker RNGs), and instrumentation
+// lives in per-worker cache-line-padded slots merged only when
+// Counters is called after the run.
+
+// Concurrent derives the concurrent driver matching a serial policy.
+// The four built-in policies map to their purpose-built concurrent
+// forms; any other Policy implementation is wrapped in NewLocked as a
+// correct (if serialized) fallback.
+func Concurrent(p Policy) ConcurrentPolicy {
+	switch p := p.(type) {
+	case *Static:
+		return NewConcurrentStatic()
+	case *Dynamic:
+		return NewConcurrentDynamic()
+	case *Hybrid:
+		return NewConcurrentHybrid()
+	case *WorkStealing:
+		return NewConcurrentWorkStealing(p.seed)
+	default:
+		return NewLocked(p)
+	}
+}
+
+// ownerSlot is one worker's owner queue plus its instrumentation,
+// padded so neighbouring workers' slots do not share a cache line. The
+// mutex guards only the heap: any worker may Ready into any owner
+// queue, but only the owning worker pops it and only the owning worker
+// touches the counters.
+type ownerSlot struct {
+	mu sync.Mutex
+	h  taskHeap
+	c  Counters
+	_  [8]int64
+}
+
+func (s *ownerSlot) push(t *dag.Task) {
+	s.mu.Lock()
+	pushTask(&s.h, t)
+	s.mu.Unlock()
+}
+
+func (s *ownerSlot) pop() *dag.Task {
+	s.mu.Lock()
+	t := popTask(&s.h)
+	s.mu.Unlock()
+	return t
+}
+
+// counterSlot is a padded per-worker Counters cell for policies whose
+// queues are not per-worker.
+type counterSlot struct {
+	c Counters
+	_ [4]int64
+}
+
+// ---------------------------------------------------------------------
+// Concurrent static policy.
+
+// ConcurrentStatic is the thread-safe form of Static: one locked heap
+// per worker. A worker only ever takes its own queue's lock in Next and
+// a dependent's owner lock in Ready, so there is no global serialization
+// point.
+type ConcurrentStatic struct {
+	slots []ownerSlot
+}
+
+// NewConcurrentStatic returns a concurrent fully static policy.
+func NewConcurrentStatic() *ConcurrentStatic { return &ConcurrentStatic{} }
+
+// Name implements ConcurrentPolicy.
+func (p *ConcurrentStatic) Name() string { return "static" }
+
+// Reset implements ConcurrentPolicy.
+func (p *ConcurrentStatic) Reset(g *dag.Graph, workers int) {
+	p.slots = make([]ownerSlot, workers)
+}
+
+// Ready implements ConcurrentPolicy. Only the owner can pop the task,
+// so the owner is whom the runtime must wake.
+func (p *ConcurrentStatic) Ready(worker int, t *dag.Task) int {
+	w := t.Owner % len(p.slots)
+	p.slots[w].push(t)
+	return w
+}
+
+// Next implements ConcurrentPolicy.
+func (p *ConcurrentStatic) Next(worker int) *dag.Task {
+	s := &p.slots[worker]
+	t := s.pop()
+	if t != nil {
+		s.c.DequeueStatic++
+	}
+	return t
+}
+
+// Counters implements ConcurrentPolicy.
+func (p *ConcurrentStatic) Counters() Counters {
+	var c Counters
+	for i := range p.slots {
+		c.add(p.slots[i].c)
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------
+// Concurrent dynamic policy.
+
+// ConcurrentDynamic is the thread-safe form of Dynamic: the single
+// shared DFS-ordered heap keeps its semantics — and therefore remains a
+// serialization point by design (that contention is the paper's
+// dequeue-overhead argument) — but the mutex now guards only the heap
+// operation itself, not the whole dispatch loop.
+type ConcurrentDynamic struct {
+	mu  sync.Mutex
+	h   taskHeap
+	cnt []counterSlot
+}
+
+// NewConcurrentDynamic returns a concurrent fully dynamic policy.
+func NewConcurrentDynamic() *ConcurrentDynamic { return &ConcurrentDynamic{} }
+
+// Name implements ConcurrentPolicy.
+func (p *ConcurrentDynamic) Name() string { return "dynamic" }
+
+// Reset implements ConcurrentPolicy.
+func (p *ConcurrentDynamic) Reset(g *dag.Graph, workers int) {
+	p.h = p.h[:0]
+	p.cnt = make([]counterSlot, workers)
+}
+
+// Ready implements ConcurrentPolicy.
+func (p *ConcurrentDynamic) Ready(worker int, t *dag.Task) int {
+	p.mu.Lock()
+	pushTask(&p.h, t)
+	p.mu.Unlock()
+	return AnyWorker
+}
+
+// Next implements ConcurrentPolicy.
+func (p *ConcurrentDynamic) Next(worker int) *dag.Task {
+	p.mu.Lock()
+	t := popTask(&p.h)
+	p.mu.Unlock()
+	if t != nil {
+		c := &p.cnt[worker].c
+		c.DequeueDynamic++
+		if t.Owner != worker {
+			c.Mismatches++
+		}
+	}
+	return t
+}
+
+// Counters implements ConcurrentPolicy.
+func (p *ConcurrentDynamic) Counters() Counters {
+	var c Counters
+	for i := range p.cnt {
+		c.add(p.cnt[i].c)
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------
+// Concurrent hybrid policy.
+
+// ConcurrentHybrid is the thread-safe form of Hybrid: per-worker locked
+// static queues plus the one shared dynamic heap with its own mutex. A
+// worker that has static work never touches the shared lock — exactly
+// the contention profile Algorithm 1 is designed to exploit.
+type ConcurrentHybrid struct {
+	slots []ownerSlot
+	mu    sync.Mutex
+	dyn   taskHeap
+}
+
+// NewConcurrentHybrid returns a concurrent hybrid policy.
+func NewConcurrentHybrid() *ConcurrentHybrid { return &ConcurrentHybrid{} }
+
+// Name implements ConcurrentPolicy.
+func (p *ConcurrentHybrid) Name() string { return "hybrid" }
+
+// Reset implements ConcurrentPolicy.
+func (p *ConcurrentHybrid) Reset(g *dag.Graph, workers int) {
+	p.slots = make([]ownerSlot, workers)
+	p.dyn = p.dyn[:0]
+}
+
+// Ready implements ConcurrentPolicy. Static tasks are pinned to their
+// owner; dynamic tasks may be popped by anyone.
+func (p *ConcurrentHybrid) Ready(worker int, t *dag.Task) int {
+	if t.Static {
+		w := t.Owner % len(p.slots)
+		p.slots[w].push(t)
+		return w
+	}
+	p.mu.Lock()
+	pushTask(&p.dyn, t)
+	p.mu.Unlock()
+	return AnyWorker
+}
+
+// Next implements ConcurrentPolicy.
+func (p *ConcurrentHybrid) Next(worker int) *dag.Task {
+	s := &p.slots[worker]
+	if t := s.pop(); t != nil {
+		s.c.DequeueStatic++
+		return t
+	}
+	p.mu.Lock()
+	t := popTask(&p.dyn)
+	p.mu.Unlock()
+	if t != nil {
+		s.c.DequeueDynamic++
+		if t.Owner != worker {
+			s.c.Mismatches++
+		}
+	}
+	return t
+}
+
+// Counters implements ConcurrentPolicy.
+func (p *ConcurrentHybrid) Counters() Counters {
+	var c Counters
+	for i := range p.slots {
+		c.add(p.slots[i].c)
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------
+// Concurrent work stealing.
+
+// ConcurrentWorkStealing is the lock-free form of WorkStealing: one
+// Chase-Lev deque per worker, popped LIFO by its owner and stolen FIFO
+// by everyone else, with an independent deterministic RNG per worker
+// for victim selection (the serial adapter's single shared rand.Rand
+// would be a data race here).
+//
+// Unlike the serial adapter, which pins ready tasks to their owner's
+// deque, the concurrent form follows Cilk semantics: a task made ready
+// by worker w goes onto w's own deque (the Chase-Lev bottom is
+// single-producer). Mismatch accounting is still relative to the task's
+// data home.
+type ConcurrentWorkStealing struct {
+	seed   int64
+	deques []*clDeque
+	rngs   []*rand.Rand
+	cnt    []counterSlot
+}
+
+// NewConcurrentWorkStealing returns a lock-free work-stealing policy
+// whose per-worker victim-selection RNGs are derived deterministically
+// from seed.
+func NewConcurrentWorkStealing(seed int64) *ConcurrentWorkStealing {
+	return &ConcurrentWorkStealing{seed: seed}
+}
+
+// Name implements ConcurrentPolicy.
+func (p *ConcurrentWorkStealing) Name() string { return "worksteal" }
+
+// Reset implements ConcurrentPolicy.
+func (p *ConcurrentWorkStealing) Reset(g *dag.Graph, workers int) {
+	p.deques = make([]*clDeque, workers)
+	p.rngs = make([]*rand.Rand, workers)
+	p.cnt = make([]counterSlot, workers)
+	for w := 0; w < workers; w++ {
+		p.deques[w] = &clDeque{}
+		p.deques[w].init()
+		// SplitMix64-style odd-constant mixing keeps per-worker streams
+		// distinct and deterministic for a given (seed, worker) pair.
+		p.rngs[w] = rand.New(rand.NewSource(p.seed ^ (int64(w)+1)*-0x61c8864680b583eb))
+	}
+}
+
+// Ready implements ConcurrentPolicy. Deques are stealable from every
+// worker, so any parked worker may be woken.
+func (p *ConcurrentWorkStealing) Ready(worker int, t *dag.Task) int {
+	if worker < 0 {
+		// Pre-run seeding (no workers running yet): distribute roots to
+		// their owners' deques like the serial adapter does.
+		p.deques[t.Owner%len(p.deques)].push(t)
+		return AnyWorker
+	}
+	p.deques[worker].push(t)
+	return AnyWorker
+}
+
+// Next implements ConcurrentPolicy.
+func (p *ConcurrentWorkStealing) Next(worker int) *dag.Task {
+	c := &p.cnt[worker].c
+	if t := p.deques[worker].pop(); t != nil {
+		c.DequeueStatic++
+		// Own-deque pops can still be off their data home here (Cilk
+		// enqueue semantics put tasks on the readying worker's deque,
+		// not the owner's), so mismatch accounting stays relative to
+		// the owner like everywhere else.
+		if t.Owner%len(p.deques) != worker {
+			c.Mismatches++
+		}
+		return t
+	}
+	n := len(p.deques)
+	start := p.rngs[worker].Intn(n)
+	for k := 0; k < n; k++ {
+		v := (start + k) % n
+		if v == worker {
+			continue
+		}
+		if t := p.deques[v].steal(); t != nil {
+			c.Steals++
+			if t.Owner != worker {
+				c.Mismatches++
+			}
+			return t
+		}
+	}
+	return nil
+}
+
+// Counters implements ConcurrentPolicy.
+func (p *ConcurrentWorkStealing) Counters() Counters {
+	var c Counters
+	for i := range p.cnt {
+		c.add(p.cnt[i].c)
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------
+// Global-lock fallback.
+
+// lockedPolicy drives an arbitrary serial Policy under one mutex: the
+// seed runtime's dispatcher reduced to an adapter. It is the fallback
+// for Policy implementations Concurrent does not recognize, and the
+// A/B baseline BenchmarkDispatch uses to show what the global lock
+// costs.
+type lockedPolicy struct {
+	mu sync.Mutex
+	p  Policy
+}
+
+// NewLocked wraps a serial policy in a single mutex, making it a
+// (fully serialized) ConcurrentPolicy.
+func NewLocked(p Policy) ConcurrentPolicy { return &lockedPolicy{p: p} }
+
+func (l *lockedPolicy) Name() string { return l.p.Name() }
+
+func (l *lockedPolicy) Reset(g *dag.Graph, workers int) {
+	l.mu.Lock()
+	l.p.Reset(g, workers)
+	l.mu.Unlock()
+}
+
+func (l *lockedPolicy) Ready(worker int, t *dag.Task) int {
+	l.mu.Lock()
+	l.p.Ready(t)
+	l.mu.Unlock()
+	// The wrapped policy's queue affinity is opaque, so the runtime has
+	// to wake everyone — which is exactly the seed runtime's
+	// cond.Broadcast behaviour this adapter exists to reproduce.
+	return AllWorkers
+}
+
+func (l *lockedPolicy) Next(worker int) *dag.Task {
+	l.mu.Lock()
+	t := l.p.Next(worker)
+	l.mu.Unlock()
+	return t
+}
+
+func (l *lockedPolicy) Counters() Counters {
+	l.mu.Lock()
+	c := l.p.Counters()
+	l.mu.Unlock()
+	return c
+}

@@ -4,17 +4,25 @@
 // strategy (Algorithms 1 and 2), and — for the related-work comparison
 // of section 8 — classic randomized work stealing.
 //
-// A Policy is a passive data structure driven by a runtime (the real
-// goroutine runtime in internal/rt or the discrete-event simulator in
-// internal/sim). All methods must be called under the runtime's lock;
-// policies perform no synchronization of their own, which keeps them
-// byte-for-byte identical between real and simulated execution — the
-// point of the whole exercise.
+// Every policy is split into a pure priority-queue core (this file) and
+// two drivers:
+//
+//   - A serial adapter (serial.go) implementing Policy. It performs no
+//     synchronization and must be driven from a single goroutine; the
+//     discrete-event simulator (internal/sim) uses it, which keeps the
+//     simulator's scheduling decisions deterministic and byte-for-byte
+//     reproducible — the property the paper's figures depend on.
+//   - A concurrent driver (concurrent.go, deque.go) implementing
+//     ConcurrentPolicy. Owner queues are per-worker with their own
+//     locks, the shared dynamic heap has its own mutex, work stealing
+//     uses lock-free Chase-Lev deques with per-worker RNGs, and
+//     instrumentation is kept in per-worker padded slots. The real
+//     goroutine runtime (internal/rt) derives one with Concurrent so
+//     that dispatch never funnels through a global lock.
 package sched
 
 import (
 	"container/heap"
-	"math/rand"
 
 	"repro/internal/dag"
 )
@@ -31,7 +39,17 @@ type Counters struct {
 	Mismatches     int64
 }
 
-// Policy dispenses ready tasks to workers.
+func (c *Counters) add(o Counters) {
+	c.DequeueStatic += o.DequeueStatic
+	c.DequeueDynamic += o.DequeueDynamic
+	c.Steals += o.Steals
+	c.Mismatches += o.Mismatches
+}
+
+// Policy dispenses ready tasks to workers. Implementations perform no
+// synchronization of their own and must be driven from one goroutine at
+// a time: they are the deterministic serial form used by the simulator.
+// The concurrent runtime derives a thread-safe driver with Concurrent.
 type Policy interface {
 	// Name identifies the policy in reports ("static", "dynamic", ...).
 	Name() string
@@ -44,11 +62,54 @@ type Policy interface {
 	// policy has nothing this worker may run right now.
 	Next(worker int) *dag.Task
 	// ReadyCount reports how many tasks are currently queued; the
-	// runtimes use it to distinguish idle-waiting from deadlock.
+	// simulator uses it to distinguish idle-waiting from deadlock.
 	ReadyCount() int
 	// Counters returns the instrumentation accumulated since Reset.
 	Counters() Counters
 }
+
+// SeedWorker is the worker argument for ConcurrentPolicy.Ready calls
+// made before the workers start (initial root seeding), when no worker
+// identity exists yet.
+const SeedWorker = -1
+
+// Wake hints returned by ConcurrentPolicy.Ready. A task pinned to one
+// worker's queue must wake exactly that worker — waking an arbitrary
+// parked worker would let the signal be absorbed by someone who cannot
+// pop the task, deadlocking the run once everyone parks.
+const (
+	// AnyWorker: the task is poppable by every worker (shared queue or
+	// stealable deque); waking any one parked worker suffices.
+	AnyWorker = -1
+	// AllWorkers: the task's affinity is unknown (opaque policy behind
+	// the global-lock adapter); the runtime must wake everyone, like
+	// the seed runtime's cond.Broadcast did.
+	AllWorkers = -2
+)
+
+// ConcurrentPolicy is the thread-safe driver interface used by the real
+// runtime. Ready and Next may be called from any worker goroutine
+// concurrently; Reset and Counters must not overlap with them (the
+// runtime calls Reset before starting workers and Counters after they
+// have all exited).
+type ConcurrentPolicy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Reset prepares the policy for a fresh execution of g.
+	Reset(g *dag.Graph, workers int)
+	// Ready enqueues a ready task. worker is the enqueuing worker, or
+	// SeedWorker when called before the workers start. The return value
+	// tells the runtime whom to wake: a worker index when the task is
+	// pinned to that worker's queue, else AnyWorker or AllWorkers.
+	Ready(worker int, t *dag.Task) int
+	// Next pops the best ready task for the given worker, or nil.
+	Next(worker int) *dag.Task
+	// Counters returns the instrumentation accumulated since Reset.
+	Counters() Counters
+}
+
+// ---------------------------------------------------------------------
+// Priority-queue core shared by the serial and concurrent drivers.
 
 // taskHeap is a priority queue ordered by Task.Prio (ascending), which
 // encodes left-to-right column order with panel tasks first — the
@@ -80,239 +141,3 @@ func popTask(h *taskHeap) *dag.Task {
 	}
 	return heap.Pop(h).(*dag.Task)
 }
-
-// ---------------------------------------------------------------------
-// Static policy: every task is pinned to its owner's queue.
-
-// Static is the fully static owner-computes policy ("CALU static"):
-// each worker executes exactly the tasks whose output blocks it owns
-// under the 2D block-cyclic distribution, in look-ahead order. Load
-// imbalance shows up as idle time (Figure 1).
-type Static struct {
-	queues []taskHeap
-	ready  int
-	c      Counters
-}
-
-// NewStatic returns a fully static policy.
-func NewStatic() *Static { return &Static{} }
-
-// Name implements Policy.
-func (p *Static) Name() string { return "static" }
-
-// Reset implements Policy.
-func (p *Static) Reset(g *dag.Graph, workers int) {
-	p.queues = make([]taskHeap, workers)
-	p.ready = 0
-	p.c = Counters{}
-}
-
-// Ready implements Policy.
-func (p *Static) Ready(t *dag.Task) {
-	w := t.Owner % len(p.queues)
-	pushTask(&p.queues[w], t)
-	p.ready++
-}
-
-// Next implements Policy.
-func (p *Static) Next(worker int) *dag.Task {
-	t := popTask(&p.queues[worker])
-	if t != nil {
-		p.ready--
-		p.c.DequeueStatic++
-	}
-	return t
-}
-
-// ReadyCount implements Policy.
-func (p *Static) ReadyCount() int { return p.ready }
-
-// Counters implements Policy.
-func (p *Static) Counters() Counters { return p.c }
-
-// ---------------------------------------------------------------------
-// Dynamic policy: one shared queue in DFS order.
-
-// Dynamic is the fully dynamic policy ("CALU dynamic"): all ready tasks
-// sit in one shared queue ordered left-to-right (Algorithm 2's DFS
-// traversal, which keeps execution near the critical path), and any
-// worker may pop any task. Load balance is ideal; locality and dequeue
-// overhead pay for it (section 1).
-type Dynamic struct {
-	queue taskHeap
-	c     Counters
-}
-
-// NewDynamic returns a fully dynamic policy.
-func NewDynamic() *Dynamic { return &Dynamic{} }
-
-// Name implements Policy.
-func (p *Dynamic) Name() string { return "dynamic" }
-
-// Reset implements Policy.
-func (p *Dynamic) Reset(g *dag.Graph, workers int) {
-	p.queue = p.queue[:0]
-	p.c = Counters{}
-}
-
-// Ready implements Policy.
-func (p *Dynamic) Ready(t *dag.Task) { pushTask(&p.queue, t) }
-
-// Next implements Policy.
-func (p *Dynamic) Next(worker int) *dag.Task {
-	t := popTask(&p.queue)
-	if t != nil {
-		p.c.DequeueDynamic++
-		if t.Owner != worker {
-			p.c.Mismatches++
-		}
-	}
-	return t
-}
-
-// ReadyCount implements Policy.
-func (p *Dynamic) ReadyCount() int { return p.queue.Len() }
-
-// Counters implements Policy.
-func (p *Dynamic) Counters() Counters { return p.c }
-
-// ---------------------------------------------------------------------
-// Hybrid policy: Algorithm 1 + Algorithm 2.
-
-// Hybrid is the paper's contribution: tasks of the first Nstatic panels
-// (marked Static by the DAG builder) are pinned to their owners'
-// queues; the rest go to one shared queue in Algorithm 2's DFS order.
-// A worker always prefers its own static queue — ensuring progress on
-// the critical path — and falls back to the shared dynamic queue when
-// it would otherwise idle (Algorithm 1, lines 8-10 and 23-25).
-type Hybrid struct {
-	static []taskHeap
-	dyn    taskHeap
-	ready  int
-	c      Counters
-}
-
-// NewHybrid returns the hybrid static/dynamic policy. The static
-// fraction itself is decided by the DAG builder's NstaticCols (the
-// dratio knob), not here: the policy simply respects the Static marks.
-func NewHybrid() *Hybrid { return &Hybrid{} }
-
-// Name implements Policy.
-func (p *Hybrid) Name() string { return "hybrid" }
-
-// Reset implements Policy.
-func (p *Hybrid) Reset(g *dag.Graph, workers int) {
-	p.static = make([]taskHeap, workers)
-	p.dyn = p.dyn[:0]
-	p.ready = 0
-	p.c = Counters{}
-}
-
-// Ready implements Policy.
-func (p *Hybrid) Ready(t *dag.Task) {
-	if t.Static {
-		pushTask(&p.static[t.Owner%len(p.static)], t)
-	} else {
-		pushTask(&p.dyn, t)
-	}
-	p.ready++
-}
-
-// Next implements Policy.
-func (p *Hybrid) Next(worker int) *dag.Task {
-	if t := popTask(&p.static[worker]); t != nil {
-		p.ready--
-		p.c.DequeueStatic++
-		return t
-	}
-	if t := popTask(&p.dyn); t != nil {
-		p.ready--
-		p.c.DequeueDynamic++
-		if t.Owner != worker {
-			p.c.Mismatches++
-		}
-		return t
-	}
-	return nil
-}
-
-// ReadyCount implements Policy.
-func (p *Hybrid) ReadyCount() int { return p.ready }
-
-// Counters implements Policy.
-func (p *Hybrid) Counters() Counters { return p.c }
-
-// ---------------------------------------------------------------------
-// Work stealing, for the section 8 comparison.
-
-// WorkStealing approximates Cilk-style randomized work stealing: ready
-// tasks go to their owner's deque; a worker pops its own deque LIFO and
-// steals FIFO from a random victim when empty. As the paper argues
-// (section 8), neither end of the victim's deque tracks the
-// factorization's critical path, which is why the paper's DFS-ordered
-// shared queue beats it.
-type WorkStealing struct {
-	deques [][]*dag.Task
-	ready  int
-	rng    *rand.Rand
-	c      Counters
-}
-
-// NewWorkStealing returns a randomized work-stealing policy with a
-// deterministic victim-selection seed.
-func NewWorkStealing(seed int64) *WorkStealing {
-	return &WorkStealing{rng: rand.New(rand.NewSource(seed))}
-}
-
-// Name implements Policy.
-func (p *WorkStealing) Name() string { return "worksteal" }
-
-// Reset implements Policy.
-func (p *WorkStealing) Reset(g *dag.Graph, workers int) {
-	p.deques = make([][]*dag.Task, workers)
-	p.ready = 0
-	p.c = Counters{}
-}
-
-// Ready implements Policy.
-func (p *WorkStealing) Ready(t *dag.Task) {
-	w := t.Owner % len(p.deques)
-	p.deques[w] = append(p.deques[w], t)
-	p.ready++
-}
-
-// Next implements Policy.
-func (p *WorkStealing) Next(worker int) *dag.Task {
-	if d := p.deques[worker]; len(d) > 0 {
-		t := d[len(d)-1] // LIFO from own deque
-		p.deques[worker] = d[:len(d)-1]
-		p.ready--
-		p.c.DequeueStatic++
-		return t
-	}
-	n := len(p.deques)
-	start := p.rng.Intn(n)
-	for k := 0; k < n; k++ {
-		v := (start + k) % n
-		if v == worker {
-			continue
-		}
-		if d := p.deques[v]; len(d) > 0 {
-			t := d[0] // FIFO steal from the victim's other end
-			p.deques[v] = d[1:]
-			p.ready--
-			p.c.Steals++
-			if t.Owner != worker {
-				p.c.Mismatches++
-			}
-			return t
-		}
-	}
-	return nil
-}
-
-// ReadyCount implements Policy.
-func (p *WorkStealing) ReadyCount() int { return p.ready }
-
-// Counters implements Policy.
-func (p *WorkStealing) Counters() Counters { return p.c }

@@ -1,0 +1,252 @@
+package sched
+
+import (
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// This file holds the serial adapters: the deterministic, single-driver
+// form of each policy. The discrete-event simulator calls them from its
+// event loop, so they need no locks and their decisions are
+// byte-for-byte reproducible. The concurrent forms live in
+// concurrent.go.
+
+// ---------------------------------------------------------------------
+// Static policy: every task is pinned to its owner's queue.
+
+// Static is the fully static owner-computes policy ("CALU static"):
+// each worker executes exactly the tasks whose output blocks it owns
+// under the 2D block-cyclic distribution, in look-ahead order. Load
+// imbalance shows up as idle time (Figure 1).
+type Static struct {
+	queues []taskHeap
+	ready  int
+	c      Counters
+}
+
+// NewStatic returns a fully static policy.
+func NewStatic() *Static { return &Static{} }
+
+// Name implements Policy.
+func (p *Static) Name() string { return "static" }
+
+// Reset implements Policy.
+func (p *Static) Reset(g *dag.Graph, workers int) {
+	p.queues = make([]taskHeap, workers)
+	p.ready = 0
+	p.c = Counters{}
+}
+
+// Ready implements Policy.
+func (p *Static) Ready(t *dag.Task) {
+	w := t.Owner % len(p.queues)
+	pushTask(&p.queues[w], t)
+	p.ready++
+}
+
+// Next implements Policy.
+func (p *Static) Next(worker int) *dag.Task {
+	t := popTask(&p.queues[worker])
+	if t != nil {
+		p.ready--
+		p.c.DequeueStatic++
+	}
+	return t
+}
+
+// ReadyCount implements Policy.
+func (p *Static) ReadyCount() int { return p.ready }
+
+// Counters implements Policy.
+func (p *Static) Counters() Counters { return p.c }
+
+// ---------------------------------------------------------------------
+// Dynamic policy: one shared queue in DFS order.
+
+// Dynamic is the fully dynamic policy ("CALU dynamic"): all ready tasks
+// sit in one shared queue ordered left-to-right (Algorithm 2's DFS
+// traversal, which keeps execution near the critical path), and any
+// worker may pop any task. Load balance is ideal; locality and dequeue
+// overhead pay for it (section 1).
+type Dynamic struct {
+	queue taskHeap
+	c     Counters
+}
+
+// NewDynamic returns a fully dynamic policy.
+func NewDynamic() *Dynamic { return &Dynamic{} }
+
+// Name implements Policy.
+func (p *Dynamic) Name() string { return "dynamic" }
+
+// Reset implements Policy.
+func (p *Dynamic) Reset(g *dag.Graph, workers int) {
+	p.queue = p.queue[:0]
+	p.c = Counters{}
+}
+
+// Ready implements Policy.
+func (p *Dynamic) Ready(t *dag.Task) { pushTask(&p.queue, t) }
+
+// Next implements Policy.
+func (p *Dynamic) Next(worker int) *dag.Task {
+	t := popTask(&p.queue)
+	if t != nil {
+		p.c.DequeueDynamic++
+		if t.Owner != worker {
+			p.c.Mismatches++
+		}
+	}
+	return t
+}
+
+// ReadyCount implements Policy.
+func (p *Dynamic) ReadyCount() int { return p.queue.Len() }
+
+// Counters implements Policy.
+func (p *Dynamic) Counters() Counters { return p.c }
+
+// ---------------------------------------------------------------------
+// Hybrid policy: Algorithm 1 + Algorithm 2.
+
+// Hybrid is the paper's contribution: tasks of the first Nstatic panels
+// (marked Static by the DAG builder) are pinned to their owners'
+// queues; the rest go to one shared queue in Algorithm 2's DFS order.
+// A worker always prefers its own static queue — ensuring progress on
+// the critical path — and falls back to the shared dynamic queue when
+// it would otherwise idle (Algorithm 1, lines 8-10 and 23-25).
+type Hybrid struct {
+	static []taskHeap
+	dyn    taskHeap
+	ready  int
+	c      Counters
+}
+
+// NewHybrid returns the hybrid static/dynamic policy. The static
+// fraction itself is decided by the DAG builder's NstaticCols (the
+// dratio knob), not here: the policy simply respects the Static marks.
+func NewHybrid() *Hybrid { return &Hybrid{} }
+
+// Name implements Policy.
+func (p *Hybrid) Name() string { return "hybrid" }
+
+// Reset implements Policy.
+func (p *Hybrid) Reset(g *dag.Graph, workers int) {
+	p.static = make([]taskHeap, workers)
+	p.dyn = p.dyn[:0]
+	p.ready = 0
+	p.c = Counters{}
+}
+
+// Ready implements Policy.
+func (p *Hybrid) Ready(t *dag.Task) {
+	if t.Static {
+		pushTask(&p.static[t.Owner%len(p.static)], t)
+	} else {
+		pushTask(&p.dyn, t)
+	}
+	p.ready++
+}
+
+// Next implements Policy.
+func (p *Hybrid) Next(worker int) *dag.Task {
+	if t := popTask(&p.static[worker]); t != nil {
+		p.ready--
+		p.c.DequeueStatic++
+		return t
+	}
+	if t := popTask(&p.dyn); t != nil {
+		p.ready--
+		p.c.DequeueDynamic++
+		if t.Owner != worker {
+			p.c.Mismatches++
+		}
+		return t
+	}
+	return nil
+}
+
+// ReadyCount implements Policy.
+func (p *Hybrid) ReadyCount() int { return p.ready }
+
+// Counters implements Policy.
+func (p *Hybrid) Counters() Counters { return p.c }
+
+// ---------------------------------------------------------------------
+// Work stealing, for the section 8 comparison.
+
+// WorkStealing approximates Cilk-style randomized work stealing: ready
+// tasks go to their owner's deque; a worker pops its own deque LIFO and
+// steals FIFO from a random victim when empty. As the paper argues
+// (section 8), neither end of the victim's deque tracks the
+// factorization's critical path, which is why the paper's DFS-ordered
+// shared queue beats it.
+type WorkStealing struct {
+	deques [][]*dag.Task
+	ready  int
+	seed   int64
+	rng    *rand.Rand
+	c      Counters
+}
+
+// NewWorkStealing returns a randomized work-stealing policy with a
+// deterministic victim-selection seed. The serial adapter runs under a
+// single driver, so one RNG suffices; the concurrent form derived by
+// Concurrent gives every worker its own RNG seeded from the same value.
+func NewWorkStealing(seed int64) *WorkStealing {
+	return &WorkStealing{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (p *WorkStealing) Name() string { return "worksteal" }
+
+// Reset implements Policy.
+func (p *WorkStealing) Reset(g *dag.Graph, workers int) {
+	p.deques = make([][]*dag.Task, workers)
+	p.ready = 0
+	p.c = Counters{}
+}
+
+// Ready implements Policy.
+func (p *WorkStealing) Ready(t *dag.Task) {
+	w := t.Owner % len(p.deques)
+	p.deques[w] = append(p.deques[w], t)
+	p.ready++
+}
+
+// Next implements Policy.
+func (p *WorkStealing) Next(worker int) *dag.Task {
+	if d := p.deques[worker]; len(d) > 0 {
+		t := d[len(d)-1] // LIFO from own deque
+		p.deques[worker] = d[:len(d)-1]
+		p.ready--
+		p.c.DequeueStatic++
+		return t
+	}
+	n := len(p.deques)
+	start := p.rng.Intn(n)
+	for k := 0; k < n; k++ {
+		v := (start + k) % n
+		if v == worker {
+			continue
+		}
+		if d := p.deques[v]; len(d) > 0 {
+			t := d[0] // FIFO steal from the victim's other end
+			p.deques[v] = d[1:]
+			p.ready--
+			p.c.Steals++
+			if t.Owner != worker {
+				p.c.Mismatches++
+			}
+			return t
+		}
+	}
+	return nil
+}
+
+// ReadyCount implements Policy.
+func (p *WorkStealing) ReadyCount() int { return p.ready }
+
+// Counters implements Policy.
+func (p *WorkStealing) Counters() Counters { return p.c }

@@ -93,15 +93,14 @@ func Run(g *dag.Graph, cfg Config) (Result, error) {
 	}
 
 	n := len(g.Tasks)
-	remaining := make([]int32, n)
-	for i, t := range g.Tasks {
-		remaining[i] = t.NumDeps
+	// The dependency state lives on the graph (dag.ResetDeps); the
+	// simulator drives it serially from its event loop, which keeps
+	// every policy decision deterministic and byte-for-byte identical
+	// across runs.
+	for _, t := range g.ResetDeps() {
+		pol.Ready(t)
 	}
-	for _, t := range g.Tasks {
-		if t.NumDeps == 0 {
-			pol.Ready(t)
-		}
-	}
+	var readyScratch []*dag.Task
 
 	res := Result{PerWorkerBusy: make([]float64, p), PerWorkerNoise: make([]float64, p)}
 	var events eventHeap
@@ -204,11 +203,9 @@ func Run(g *dag.Graph, cfg Config) (Result, error) {
 		completed++
 		idle[e.worker] = true
 		idleSince[e.worker] = now
-		for _, o := range e.task.Outs {
-			remaining[o]--
-			if remaining[o] == 0 {
-				pol.Ready(g.Tasks[o])
-			}
+		readyScratch = g.ResolveSuccessors(e.task, readyScratch[:0])
+		for _, t := range readyScratch {
+			pol.Ready(t)
 		}
 		dispatch()
 	}

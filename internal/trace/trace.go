@@ -39,6 +39,15 @@ func (tr *Trace) Add(w int, id int32, label byte, start, end float64) {
 	tr.Spans[w] = append(tr.Spans[w], Span{TaskID: id, Label: label, Start: start, End: end})
 }
 
+// Merge appends a batch of spans to worker w's timeline. The concurrent
+// runtime buffers spans in worker-local slices during the run and
+// merges each worker's batch once at the end, keeping the hot dispatch
+// path free of shared-slice growth; within a batch spans are already in
+// start order, so the Spans invariant is preserved.
+func (tr *Trace) Merge(w int, spans []Span) {
+	tr.Spans[w] = append(tr.Spans[w], spans...)
+}
+
 // Makespan returns the latest span end across all workers.
 func (tr *Trace) Makespan() float64 {
 	end := 0.0
