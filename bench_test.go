@@ -328,6 +328,40 @@ func BenchmarkKernelGetf2(b *testing.B) {
 	}
 }
 
+// benchPanel reports GFLOPS of one tall-skinny GETRF (the panel
+// operator on the static section's critical path) for either the
+// blocked register-tiled entry (kernel.Getrf) or the scalar seed path
+// (kernel.Getf2). The two compute bit-identical pivots and values, so
+// the ratio is pure panel-throughput — the quantity the hybrid
+// scheduling experiments are sensitive to, since every F task gates its
+// whole trailing update.
+func benchPanel(b *testing.B, m, n int, factor func(kernel.View, []int) error) {
+	b.Helper()
+	src := RandomMatrix(m, n, 11)
+	piv := make([]int, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		work := src.Clone()
+		b.StartTimer()
+		if err := factor(viewOf(work), piv); err != nil {
+			b.Fatal(err)
+		}
+	}
+	flops := float64(m)*float64(n)*float64(n) - float64(n)*float64(n)*float64(n)/3
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkPanelBlocked256x32(b *testing.B)  { benchPanel(b, 256, 32, kernel.Getrf) }
+func BenchmarkPanelBlocked1024x32(b *testing.B) { benchPanel(b, 1024, 32, kernel.Getrf) }
+func BenchmarkPanelBlocked4096x64(b *testing.B) { benchPanel(b, 4096, 64, kernel.Getrf) }
+func BenchmarkPanelScalar256x32(b *testing.B)   { benchPanel(b, 256, 32, kernel.Getf2) }
+func BenchmarkPanelScalar1024x32(b *testing.B)  { benchPanel(b, 1024, 32, kernel.Getf2) }
+func BenchmarkPanelScalar4096x64(b *testing.B)  { benchPanel(b, 4096, 64, kernel.Getf2) }
+func BenchmarkPanelRecursive4096x64(b *testing.B) {
+	benchPanel(b, 4096, 64, kernel.RecursiveLU)
+}
+
 // ---------------------------------------------------------------------
 // Dispatch overhead: scheduler throughput isolated from kernel time.
 

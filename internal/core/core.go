@@ -157,6 +157,14 @@ type Factorization struct {
 
 // Factor computes the CALU factorization of a (which is not modified)
 // and returns PA = LU.
+//
+// Singular inputs degrade the same way ReferenceLU does: an exactly
+// singular tournament chunk (duplicated or zero rows confined to one
+// chunk of a panel) is absorbed by piv.Select's prefix fallback and the
+// factorization completes normally, while a matrix whose panel is rank
+// deficient as a whole — one plain GEPP would also abort on, such as an
+// exactly zero column — returns an error rather than panicking (the
+// runtime converts numerical-failure panics in tasks into errors).
 func Factor(a *mat.Dense, opt Options) (*Factorization, error) {
 	opt.fill()
 	grid := layout.NewGrid(opt.Workers)
@@ -290,7 +298,10 @@ func SolveResidual(a *mat.Dense, x, b []float64) float64 {
 }
 
 // ReferenceLU is the sequential oracle: plain recursive GEPP on a dense
-// copy, returning the same Factorization shape as Factor.
+// copy, returning the same Factorization shape as Factor. Its panel
+// work rides the same blocked register-tiled GETRF leaves as the CALU
+// tasks, so oracle and subject share kernels. An exactly singular
+// pivot column yields a *kernel.SingularError.
 func ReferenceLU(a *mat.Dense) (*Factorization, error) {
 	m, n := a.Rows, a.Cols
 	work := a.Clone()

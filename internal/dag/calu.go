@@ -142,6 +142,10 @@ func BuildCALU(l layout.Layout, opt CALUOptions) *CALUGraph {
 						}
 						off += blk.Rows
 					}
+					// Select degrades gracefully on an exactly singular chunk
+					// (prefix fallback), so an error here is a real defect,
+					// not a property of the input; the runtime converts the
+					// panic into a Factor error.
 					cand, err := piv.Select(vals, ids, bw)
 					if err != nil {
 						panic(fmt.Sprintf("dag: TSLU leaf (step %d rows %d..%d): %v", kk, r0c, r1c, err))
@@ -229,6 +233,11 @@ func BuildCALU(l layout.Layout, opt CALUOptions) *CALUGraph {
 				for _, sw := range swaps {
 					l.SwapRows(kk, sw[0], sw[1])
 				}
+				// A zero diagonal here means the whole panel was rank
+				// deficient — no pivot candidate anywhere could fill the
+				// column — which is exactly when reference GEPP fails too.
+				// The panic becomes a Factor error, matching ReferenceLU's
+				// graceful error return.
 				diag := l.Block(kk, kk)
 				if err := kernel.GetrfNoPiv(kernel.View{Rows: diag.Rows, Cols: bw, Stride: diag.Stride, Data: diag.Data}); err != nil {
 					panic(fmt.Sprintf("dag: pivot block factorization step %d: %v", kk, err))

@@ -19,6 +19,7 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -47,8 +48,12 @@ func (v View) Sub(i0, i1, j0, j1 int) View {
 // m x n view a (m >= n expected for panels), unblocked right-looking.
 // On return a holds L (unit diagonal implicit) below and U on/above
 // the diagonal, and piv[k] records the row swapped with row k at step
-// k (LAPACK ipiv convention, 0-based). Returns an error only if the
-// matrix is exactly singular in a pivot column.
+// k (LAPACK ipiv convention, 0-based). If a pivot column is exactly
+// singular it returns a *SingularError whose K field is the number of
+// fully factored leading columns — piv[0:K] remains valid, so callers
+// like the tournament-pivoting fallback can keep the established
+// prefix instead of aborting. Getf2 is the scalar oracle of the panel
+// layer; the blocked Getrf produces bit-identical pivots and values.
 func Getf2(a View, piv []int) error {
 	m, n := a.Rows, a.Cols
 	steps := min(m, n)
@@ -66,7 +71,7 @@ func Getf2(a View, piv []int) error {
 		}
 		piv[k] = p
 		if vmax == 0 {
-			return fmt.Errorf("kernel: getf2 singular at column %d", k)
+			return &SingularError{K: k}
 		}
 		if p != k {
 			swapRows(a, k, p)
@@ -88,25 +93,27 @@ func Getf2(a View, piv []int) error {
 	return nil
 }
 
-// rluCrossover is the column count below which RecursiveLU falls back
-// to the unblocked kernel.
-const rluCrossover = 16
-
 // RecursiveLU computes the same factorization as Getf2 using Toledo's
 // recursive formulation, which the paper uses as the sequential panel
 // operator inside TSLU (section 3, "in our experiments we use
-// recursive LU"). piv uses the same convention as Getf2. Its solve and
-// update steps ride the blocked TRSM and packed GEMM, so a tall panel
-// factorization runs at matrix-matrix speed.
+// recursive LU"). piv uses the same convention as Getf2. Leaves at or
+// below the panelCrossover width run the blocked register-tiled Getrf
+// (bit-identical to Getf2), and the supra-leaf solve and update steps
+// ride the blocked TRSM and packed GEMM, so a tall panel factorization
+// runs at matrix-matrix speed. Like Getf2 it reports an exactly
+// singular pivot column as a *SingularError carrying the established
+// prefix length; piv[0:K] is valid on return.
 func RecursiveLU(a View, piv []int) error {
 	m, n := a.Rows, a.Cols
 	steps := min(m, n)
-	if steps <= rluCrossover {
-		return Getf2(a, piv)
+	if steps <= panelCrossover {
+		return Getrf(a, piv)
 	}
 	nl := steps / 2
 	left := a.Sub(0, m, 0, nl)
 	if err := RecursiveLU(left, piv[:nl]); err != nil {
+		// The left half starts at column 0, so its established prefix is
+		// already in global coordinates.
 		return err
 	}
 	// Apply the left swaps to the right half, solve for U12, update A22.
@@ -122,18 +129,34 @@ func RecursiveLU(a View, piv []int) error {
 	a21 := a.Sub(nl, m, 0, nl)
 	a22 := a.Sub(nl, m, nl, n)
 	Gemm(a22, a21, u12)
+	l21 := a.Sub(nl, m, 0, nl)
 	if err := RecursiveLU(a22, piv[nl:steps]); err != nil {
-		return err
+		// Globalize the right half's established prefix — offset its
+		// pivots and replay their swaps on the left half exactly as the
+		// success path does — so piv[0:nl+K] stays usable.
+		var se *SingularError
+		if !errors.As(err, &se) {
+			return err
+		}
+		offsetRightPivots(l21, piv, nl, nl+se.K)
+		return &SingularError{K: nl + se.K}
 	}
 	// Offset the recursion's pivots and apply them to the left half.
-	l21 := a.Sub(nl, m, 0, nl)
-	for k := nl; k < steps; k++ {
-		piv[k] += nl
+	offsetRightPivots(l21, piv, nl, steps)
+	return nil
+}
+
+// offsetRightPivots converts the right-recursion pivots piv[k0:k1]
+// (local to the trailing submatrix starting at row/column k0) into
+// global indices and applies the corresponding row swaps to the left
+// block l21.
+func offsetRightPivots(l21 View, piv []int, k0, k1 int) {
+	for k := k0; k < k1; k++ {
+		piv[k] += k0
 		if piv[k] != k {
-			swapRows(l21, k-nl, piv[k]-nl)
+			swapRows(l21, k-k0, piv[k]-k0)
 		}
 	}
-	return nil
 }
 
 // swapRows exchanges rows r1 and r2 across all columns of v.
@@ -164,15 +187,41 @@ func LaswpInverse(v View, piv []int, k0, k1 int) {
 	}
 }
 
-// GetrfNoPiv factors the n x n view without pivoting (used on the b x b
+// GetrfNoPiv factors the view without pivoting (used on the b x b
 // pivot block after tournament pivoting has moved the chosen rows into
-// place). Returns an error on a zero diagonal.
+// place). Returns an error on a zero diagonal. Blocks wide enough to
+// amortize packing ride the same micro-panel + register-tiled sweep as
+// Getrf, bit-identical to the unblocked scalar loop.
 func GetrfNoPiv(a View) error {
+	m, n := a.Rows, a.Cols
+	steps := min(m, n)
+	if useNaiveKernels || !panelBlockedWorthwhile(m, steps) {
+		return getrfNoPivUnblocked(a, 0)
+	}
+	for j0 := 0; j0 < steps; j0 += mr {
+		w := min(mr, steps-j0)
+		if err := getrfNoPivUnblocked(a.Sub(j0, m, j0, j0+w), j0); err != nil {
+			return err
+		}
+		if j0+w < n {
+			trsmLowerLeftUnitNaive(a.Sub(j0, j0+w, j0, j0+w), a.Sub(j0, j0+w, j0+w, n))
+			if j0+w < m {
+				panelUpdate(a.Sub(j0+w, m, j0+w, n), a.Sub(j0+w, m, j0, j0+w), a.Sub(j0, j0+w, j0+w, n))
+			}
+		}
+	}
+	return nil
+}
+
+// getrfNoPivUnblocked is the scalar right-looking no-pivot LU, the
+// oracle of the blocked path and its micro-panel operator. col0 offsets
+// the error's reported column for micro-panel calls.
+func getrfNoPivUnblocked(a View, col0 int) error {
 	n := min(a.Rows, a.Cols)
 	for k := 0; k < n; k++ {
 		akk := a.Data[k*a.Stride+k]
 		if akk == 0 {
-			return fmt.Errorf("kernel: no-pivot LU zero diagonal at %d", k)
+			return fmt.Errorf("kernel: no-pivot LU zero diagonal at %d", col0+k)
 		}
 		inv := 1 / akk
 		col := a.Data[k*a.Stride:]

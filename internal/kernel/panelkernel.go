@@ -1,0 +1,28 @@
+package kernel
+
+// panelKernel applies w sequential rank-1 updates to one mr x nr tile
+// of C: for l = 0..w-1 in order, C[i,j] -= ap[l*mr+i] * bp[l*nr+j],
+// each step rounded separately (multiply, then subtract — never a fused
+// accumulate), so the blocked GETRF stays bit-identical to scalar
+// Getf2. ap/bp are one packed A row panel and one packed B column panel
+// in the GEMM packing formats (pack.go); c is the tile origin inside a
+// column-major matrix with leading dimension ldc. Platform inits swap
+// in wider implementations (panelkernel_amd64.go).
+var panelKernel = panelKernelGeneric
+
+// panelKernelGeneric is the portable mr x nr implementation: one
+// columnful of the tile is updated per (l, j) step with the same
+// unrolled multiply/subtract loop the micro-panel factorization uses.
+func panelKernelGeneric(w int, ap, bp, c []float64, ldc int) {
+	for l := 0; l < w; l++ {
+		al := ap[l*mr : l*mr+mr]
+		bl := bp[l*nr : l*nr+nr]
+		for j := 0; j < nr; j++ {
+			u := bl[j]
+			cj := c[j*ldc : j*ldc+mr]
+			for i := range cj {
+				cj[i] -= al[i] * u
+			}
+		}
+	}
+}

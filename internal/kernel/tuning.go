@@ -60,6 +60,26 @@ func packedWorthwhile(m, n, k int) bool {
 // naive kernels and everything off-diagonal becomes a GEMM.
 const trsmBlock = 32
 
+// panelCrossover is the column count at or below which RecursiveLU
+// stops recursing and hands the whole leaf to the blocked micro-panel
+// Getrf. It was 16 when the leaves were scalar Getf2; the blocked
+// kernel keeps BLAS-3-like reuse up to much wider leaves, so splitting
+// below 64 columns only adds recursion overhead.
+const panelCrossover = 64
+
+// panelBlockedMinArea is the m*n panel area below which the blocked
+// GETRF cannot amortize its packing traffic and workspace round trip.
+const panelBlockedMinArea = 32 * 32
+
+// panelBlockedWorthwhile reports whether an m x n panel factorization
+// should take the blocked micro-panel path: it needs at least two
+// register rows to tile, more columns than one micro-panel (otherwise
+// there is no trailing update to block), and enough area to pay for
+// packing.
+func panelBlockedWorthwhile(m, n int) bool {
+	return m >= 2*mr && n > mr && m*n >= panelBlockedMinArea
+}
+
 // useNaiveKernels pins every dispatcher to the naive reference kernels.
 // It exists for tests (pivot-invariance and differential runs); it is
 // not a tuning knob.

@@ -21,8 +21,8 @@ var (
 	wsMu   sync.Mutex
 	wsFree []*workspace
 	// wsCap bounds the free list so transient bursts of concurrent
-	// GEMMs cannot pin memory forever; Reserve raises it to the
-	// caller's worker count.
+	// GEMMs cannot pin memory forever; Reserve retargets it to the
+	// current run's worker count, shrinking as well as growing.
 	wsCap = runtime.NumCPU()
 )
 
@@ -53,19 +53,28 @@ func putWorkspace(w *workspace) {
 	wsMu.Unlock()
 }
 
-// Reserve ensures at least n packing-buffer sets exist on the free
+// Reserve ensures exactly n packing-buffer sets exist on the free
 // list, one per concurrent caller. internal/rt calls it with the
 // worker count before starting a run so no task pays the first-touch
-// allocation of its pack buffers mid-factorization. It is idempotent
-// and cheap when the buffers already exist.
+// allocation of its pack buffers mid-factorization. The cap is
+// per-run, not a high-water mark: a run with fewer workers lowers it
+// and releases the excess buffer sets to the garbage collector, so
+// alternating wide and narrow factorizations in one process does not
+// pin the widest run's ~1.3 MiB-per-worker buffers forever. Buffers
+// checked out by a concurrent run are unaffected; they are simply
+// dropped instead of recycled when returned over the new cap.
 func Reserve(n int) {
 	if n < 1 {
 		return
 	}
 	wsMu.Lock()
 	defer wsMu.Unlock()
-	if n > wsCap {
-		wsCap = n
+	wsCap = n
+	if len(wsFree) > n {
+		for i := n; i < len(wsFree); i++ {
+			wsFree[i] = nil // release, do not retain via the backing array
+		}
+		wsFree = wsFree[:n]
 	}
 	for len(wsFree) < n {
 		wsFree = append(wsFree, newWorkspace())

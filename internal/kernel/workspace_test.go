@@ -1,0 +1,40 @@
+package kernel
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Reserve must retarget the free list to the current run's worker
+// count in both directions: a wide run must not pin its buffer sets
+// (~1.3 MiB each) after a narrow run starts.
+func TestReserveDecaysCap(t *testing.T) {
+	defer Reserve(runtime.NumCPU()) // restore a sane default for other tests
+
+	Reserve(6)
+	wsMu.Lock()
+	free, cap6 := len(wsFree), wsCap
+	wsMu.Unlock()
+	if free != 6 || cap6 != 6 {
+		t.Fatalf("after Reserve(6): free=%d cap=%d, want 6/6", free, cap6)
+	}
+
+	Reserve(1)
+	wsMu.Lock()
+	free, cap1 := len(wsFree), wsCap
+	wsMu.Unlock()
+	if free != 1 || cap1 != 1 {
+		t.Fatalf("after Reserve(1): free=%d cap=%d, want 1/1 (cap must decay)", free, cap1)
+	}
+
+	// Buffers returned above the new cap are dropped, not retained.
+	a, b := getWorkspace(), getWorkspace()
+	putWorkspace(a)
+	putWorkspace(b)
+	wsMu.Lock()
+	free = len(wsFree)
+	wsMu.Unlock()
+	if free > 1 {
+		t.Fatalf("free list grew to %d past the cap of 1", free)
+	}
+}

@@ -9,6 +9,7 @@
 package piv
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/kernel"
@@ -26,6 +27,16 @@ type Candidate struct {
 // Select runs GEPP on vals (a copy is factored; vals is left untouched)
 // and returns the candidate holding the top min(b, rows) pivot rows.
 // ids[i] is the global row index of vals row i.
+//
+// A structurally singular chunk — a duplicated or zero row region whose
+// GEPP hits an exactly zero pivot column — can still contribute rows:
+// Select falls back to the pivot-row prefix GEPP established before
+// failing and pads it with the remaining candidate rows in order, so
+// the tournament always fields min(b, rows) contestants. Later combine
+// rounds then outvote the padding with better rows from other chunks,
+// which is what lets one singular chunk degrade gracefully instead of
+// killing the whole factorization. An error is returned only for
+// failures other than exact singularity.
 func Select(vals *mat.Dense, ids []int, b int) (Candidate, error) {
 	r, c := vals.Rows, vals.Cols
 	if len(ids) != r {
@@ -35,17 +46,22 @@ func Select(vals *mat.Dense, ids []int, b int) (Candidate, error) {
 	work := vals.Clone()
 	pivots := make([]int, steps)
 	err := kernel.RecursiveLU(kernel.View{Rows: r, Cols: c, Stride: work.Stride, Data: work.Data}, pivots)
+	established := steps
 	if err != nil {
-		// A structurally singular chunk can still contribute rows: fall
-		// back to whatever prefix GEPP established before failing.
-		return Candidate{}, fmt.Errorf("piv: candidate selection failed: %w", err)
+		var se *kernel.SingularError
+		if !errors.As(err, &se) {
+			return Candidate{}, fmt.Errorf("piv: candidate selection failed: %w", err)
+		}
+		established = se.K
 	}
-	// Replay the swap sequence on the local index permutation.
+	// Replay the established swap sequence on the local index
+	// permutation; rows beyond the prefix keep their relative order and
+	// become the padding.
 	p := make([]int, r)
 	for i := range p {
 		p[i] = i
 	}
-	for k, q := range pivots {
+	for k, q := range pivots[:established] {
 		p[k], p[q] = p[q], p[k]
 	}
 	take := min(b, r)

@@ -248,3 +248,103 @@ func TestTournamentPivotBlockInvertibleProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// deficientChunk builds an r x c chunk with `rank` distinct random rows above
+// a zero-row region — exactly singular as a chunk: zero rows stay
+// exactly zero under elimination, so GEPP deterministically hits a zero
+// pivot at column `rank` and the prefix fallback must engage.
+func deficientChunk(r, c, rank int, rng *rand.Rand) *mat.Dense {
+	out := mat.New(r, c)
+	out.Slice(0, rank, 0, c).CopyFrom(mat.Random(rank, c, rng))
+	return out
+}
+
+func TestSelectSingularChunkPrefixFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vals := deficientChunk(8, 4, 2, rng)
+	c, err := Select(vals, ids(10, 18), 4)
+	if err != nil {
+		t.Fatalf("a singular chunk must degrade, not error: %v", err)
+	}
+	if len(c.IDs) != 4 {
+		t.Fatalf("fallback fielded %d contestants, want min(b, rows) = 4", len(c.IDs))
+	}
+	seen := map[int]bool{}
+	for t2, id := range c.IDs {
+		if id < 10 || id >= 18 || seen[id] {
+			t.Fatalf("invalid candidate ids %v", c.IDs)
+		}
+		seen[id] = true
+		// Candidates must carry original (unfactored) row values.
+		for j := 0; j < 4; j++ {
+			if c.Vals.At(t2, j) != vals.At(id-10, j) {
+				t.Fatalf("candidate %d does not carry original values of row %d", t2, id)
+			}
+		}
+	}
+}
+
+func TestSelectAllZeroChunk(t *testing.T) {
+	vals := mat.New(6, 3)
+	c, err := Select(vals, ids(0, 6), 3)
+	if err != nil {
+		t.Fatalf("zero chunk must still field contestants: %v", err)
+	}
+	if len(c.IDs) != 3 {
+		t.Fatalf("want 3 padded candidates, got %d", len(c.IDs))
+	}
+	// With no established prefix the padding preserves input order.
+	for i, id := range c.IDs {
+		if id != i {
+			t.Fatalf("padding order broken: %v", c.IDs)
+		}
+	}
+}
+
+func TestTournamentSurvivesSingularChunk(t *testing.T) {
+	// One exactly singular chunk among healthy ones: the tournament must
+	// still produce b distinct winners whose pivot block factors, because
+	// the combine rounds outvote the singular chunk's padding.
+	rng := rand.New(rand.NewSource(7))
+	b := 4
+	healthy := mat.Random(24, b, rng)
+	var cands []Candidate
+	for c := 0; c < 3; c++ {
+		chunk := healthy.Slice(c*8, (c+1)*8, 0, b)
+		cand, err := Select(chunk, ids(c*8, (c+1)*8), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands = append(cands, cand)
+	}
+	singVals := deficientChunk(8, b, 2, rng)
+	sing, err := Select(singVals, ids(24, 32), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands = append(cands, sing)
+	winners, err := Tournament(cands, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(winners) != b {
+		t.Fatalf("want %d winners, got %d", b, len(winners))
+	}
+	block := mat.New(b, b)
+	all := mat.New(32, b)
+	all.Slice(0, 24, 0, b).CopyFrom(healthy)
+	all.Slice(24, 32, 0, b).CopyFrom(singVals)
+	seen := map[int]bool{}
+	for t2, w := range winners {
+		if w < 0 || w >= 32 || seen[w] {
+			t.Fatalf("invalid winner set %v", winners)
+		}
+		seen[w] = true
+		for j := 0; j < b; j++ {
+			block.Set(t2, j, all.At(w, j))
+		}
+	}
+	if c2, err := Select(block, ids(0, b), b); err != nil || len(c2.IDs) != b {
+		t.Fatalf("winning pivot block not full rank: %v %v", c2.IDs, err)
+	}
+}
