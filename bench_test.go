@@ -9,13 +9,17 @@ package repro
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/kernel"
 	"repro/internal/layout"
@@ -423,6 +427,123 @@ func BenchmarkDispatch(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Resident engine throughput: Factor jobs/sec on a mixed-size workload
+// through the shared worker pool versus the spawn-workers-per-call
+// baseline, at increasing numbers of inflight jobs.
+
+// engineBatch is one mixed 64..512 workload: the small/large imbalance
+// the engine's inter-job dynamic share exists to absorb.
+func engineBatch() []*mat.Dense {
+	sizes := []int{64, 96, 128, 192, 256, 384, 512, 128}
+	ms := make([]*mat.Dense, len(sizes))
+	for i, n := range sizes {
+		ms[i] = RandomMatrix(n, n, int64(100+i))
+	}
+	return ms
+}
+
+func engineJobOptions() core.Options {
+	return core.Options{
+		Block: 64, Workers: 2,
+		Scheduler: core.ScheduleHybrid, DynamicRatio: 0.1,
+	}
+}
+
+// reportLatencies emits jobs/s plus p50/p99 submit-to-done latency.
+func reportLatencies(b *testing.B, lat []time.Duration) {
+	b.Helper()
+	if len(lat) == 0 {
+		// Every job failed; the per-job b.Error output explains why.
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	jobs := float64(len(lat))
+	b.ReportMetric(jobs/b.Elapsed().Seconds(), "jobs/s")
+	b.ReportMetric(lat[len(lat)/2].Seconds()*1e3, "p50-ms")
+	b.ReportMetric(lat[(len(lat)*99)/100].Seconds()*1e3, "p99-ms")
+}
+
+// BenchmarkEngineThroughput is the resident-versus-spawn A/B of the
+// engine's reason to exist: the same mixed workload pushed through one
+// long-lived pool (amortized workers and workspaces, two-level hybrid
+// scheduling) and through per-call rt.Run worker spawning, at 1..8
+// inflight jobs. The engine side must at least match the baseline's
+// jobs/sec.
+func BenchmarkEngineThroughput(b *testing.B) {
+	batch := engineBatch()
+	for _, inflight := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("engine/inflight%d", inflight), func(b *testing.B) {
+			eng, err := engine.New(engine.Options{
+				Workers: 4, MaxInflight: inflight, DynamicRatio: 0.25,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			var mu sync.Mutex
+			var lat []time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Latencies are recorded at each job's true completion
+				// (per-job waiter), matching how the spawn baseline
+				// records its own — an in-order Wait loop would charge
+				// head-of-line waiting to jobs that finished early.
+				var wg sync.WaitGroup
+				for _, a := range batch {
+					start := time.Now()
+					j, err := eng.SubmitFactor(a, engineJobOptions())
+					if err != nil {
+						b.Fatal(err)
+					}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if err := j.Wait(); err != nil {
+							b.Error(err)
+							return
+						}
+						mu.Lock()
+						lat = append(lat, time.Since(start))
+						mu.Unlock()
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			reportLatencies(b, lat)
+		})
+		b.Run(fmt.Sprintf("spawn/inflight%d", inflight), func(b *testing.B) {
+			var mu sync.Mutex
+			var lat []time.Duration
+			sem := make(chan struct{}, inflight)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for _, a := range batch {
+					start := time.Now()
+					sem <- struct{}{}
+					wg.Add(1)
+					go func(a *mat.Dense) {
+						defer wg.Done()
+						defer func() { <-sem }()
+						if _, err := core.Factor(a, engineJobOptions()); err != nil {
+							b.Error(err)
+							return
+						}
+						mu.Lock()
+						lat = append(lat, time.Since(start))
+						mu.Unlock()
+					}(a)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			reportLatencies(b, lat)
+		})
 	}
 }
 

@@ -1,0 +1,295 @@
+// Command hsdserve exposes the resident factorization engine over
+// HTTP/JSON: one long-lived worker pool serving concurrent Factor and
+// Solve requests with the two-level hybrid static/dynamic scheduling
+// of internal/engine (static per-job worker reservations, dynamic
+// lending across jobs).
+//
+//	hsdserve -addr :8080 -pool 8 -dratio 0.25 -maxinflight 32
+//
+// Factor a random 512x512 test matrix with a 2-worker share and keep
+// the factorization resident for later solves:
+//
+//	curl -s localhost:8080/v1/factor -d '{"n":512,"seed":7,"workers":2}'
+//
+// Factor a caller-supplied matrix (row-major flat array) and solve:
+//
+//	curl -s localhost:8080/v1/factor \
+//	    -d '{"rows":2,"cols":2,"data":[4,3,6,3],"residual":true}'
+//	curl -s localhost:8080/v1/solve -d '{"id":"f-1","b":[10,12]}'
+//	curl -s localhost:8080/v1/stats
+//
+// Saturation (admission queue at -maxinflight) returns 503 so load
+// balancers can back off; factorizations are kept for -keep solves
+// and evicted FIFO.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// maxBody caps request bodies (a 2048x2048 JSON matrix is ~90 MB; we
+// stop well before a streaming client can grow memory without bound).
+const maxBody = 256 << 20
+
+// server wires the engine to the HTTP mux and owns the factorization
+// store.
+type server struct {
+	eng *repro.Engine
+
+	mu    sync.Mutex
+	next  int
+	keep  int
+	order []string
+	facs  map[string]*repro.Factorization
+}
+
+type factorRequest struct {
+	// Either a generated test matrix ...
+	N    int   `json:"n"`
+	Seed int64 `json:"seed"`
+	// ... or caller-supplied data (row-major, rows*cols entries).
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+
+	Block        int     `json:"block"`
+	Workers      int     `json:"workers"`
+	Scheduler    string  `json:"scheduler"`
+	Layout       string  `json:"layout"`
+	DynamicRatio float64 `json:"dynamicRatio"`
+	// Residual requests the O(n^3) backward-error check in the reply.
+	Residual bool `json:"residual"`
+}
+
+type factorReply struct {
+	ID          string   `json:"id"`
+	Granted     int      `json:"granted"`
+	QueueWaitMs float64  `json:"queueWaitMs"`
+	SpanMs      float64  `json:"spanMs"`
+	Residual    *float64 `json:"residual,omitempty"`
+}
+
+type solveRequest struct {
+	ID string    `json:"id"`
+	B  []float64 `json:"b"`
+}
+
+func (s *server) options(req *factorRequest) (repro.Options, error) {
+	opt := repro.Options{
+		Block:        req.Block,
+		Workers:      req.Workers,
+		DynamicRatio: req.DynamicRatio,
+		Seed:         req.Seed,
+	}
+	switch strings.ToLower(req.Layout) {
+	case "", "bcl":
+		opt.Layout = repro.LayoutBlockCyclic
+	case "cm":
+		opt.Layout = repro.LayoutColMajor
+	case "2l", "2l-bl", "twolevel":
+		opt.Layout = repro.LayoutTwoLevel
+	default:
+		return opt, fmt.Errorf("unknown layout %q", req.Layout)
+	}
+	switch strings.ToLower(req.Scheduler) {
+	case "", "hybrid":
+		opt.Scheduler = repro.ScheduleHybrid
+		if opt.DynamicRatio == 0 {
+			opt.DynamicRatio = 0.1
+		}
+	case "static":
+		opt.Scheduler = repro.ScheduleStatic
+	case "dynamic":
+		opt.Scheduler = repro.ScheduleDynamic
+	case "worksteal":
+		opt.Scheduler = repro.ScheduleWorkStealing
+	default:
+		return opt, fmt.Errorf("unknown scheduler %q", req.Scheduler)
+	}
+	return opt, nil
+}
+
+func (s *server) matrix(req *factorRequest) (*repro.Matrix, error) {
+	if len(req.Data) > 0 {
+		if req.Rows <= 0 || req.Cols <= 0 || len(req.Data) != req.Rows*req.Cols {
+			return nil, fmt.Errorf("data needs rows*cols = %d*%d entries, got %d",
+				req.Rows, req.Cols, len(req.Data))
+		}
+		a := repro.NewMatrix(req.Rows, req.Cols)
+		for i := 0; i < req.Rows; i++ {
+			for j := 0; j < req.Cols; j++ {
+				a.Set(i, j, req.Data[i*req.Cols+j])
+			}
+		}
+		return a, nil
+	}
+	if req.N <= 0 {
+		return nil, fmt.Errorf("need either n > 0 or rows/cols/data")
+	}
+	return repro.RandomMatrix(req.N, req.N, req.Seed), nil
+}
+
+func (s *server) store(f *repro.Factorization) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	id := fmt.Sprintf("f-%d", s.next)
+	s.facs[id] = f
+	s.order = append(s.order, id)
+	for len(s.order) > s.keep {
+		delete(s.facs, s.order[0])
+		s.order = s.order[1:]
+	}
+	return id
+}
+
+func (s *server) lookup(id string) *repro.Factorization {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.facs[id]
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) handleFactor(w http.ResponseWriter, r *http.Request) {
+	var req factorRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	opt, err := s.options(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	a, err := s.matrix(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, err := s.eng.TrySubmitFactor(a, opt)
+	switch {
+	case err == repro.ErrEngineSaturated:
+		httpError(w, http.StatusServiceUnavailable, "engine saturated, retry later")
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := job.Wait(); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "factorization failed: %v", err)
+		return
+	}
+	f := job.Factorization()
+	rep := factorReply{
+		ID:          s.store(f),
+		Granted:     job.Granted(),
+		QueueWaitMs: job.QueueWait().Seconds() * 1e3,
+		SpanMs:      job.Span().Seconds() * 1e3,
+	}
+	if req.Residual {
+		r := repro.Residual(a, f)
+		rep.Residual = &r
+	}
+	reply(w, rep)
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	f := s.lookup(req.ID)
+	if f == nil {
+		httpError(w, http.StatusNotFound, "no factorization %q (evicted or never existed)", req.ID)
+		return
+	}
+	job, err := s.eng.TrySubmitSolve(f, req.B)
+	switch {
+	case err == repro.ErrEngineSaturated:
+		httpError(w, http.StatusServiceUnavailable, "engine saturated, retry later")
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := job.Wait(); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "solve failed: %v", err)
+		return
+	}
+	reply(w, map[string]any{"id": req.ID, "x": job.Solution()})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	stored := len(s.facs)
+	s.mu.Unlock()
+	reply(w, map[string]any{
+		"engine": s.eng.Stats(),
+		"stored": stored,
+	})
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	pool := flag.Int("pool", 0, "resident worker pool size (0 = NumCPU)")
+	dratio := flag.Float64("dratio", 0.25, "inter-job dynamic ratio (0 fully static .. 1 fully dynamic)")
+	maxInflight := flag.Int("maxinflight", 0, "admission bound (0 = 4*pool)")
+	keep := flag.Int("keep", 64, "factorizations kept resident for /v1/solve (>= 1)")
+	flag.Parse()
+	if *keep < 1 {
+		fmt.Fprintf(os.Stderr, "hsdserve: -keep must be >= 1 (every /v1/factor reply references a kept factorization)\n")
+		os.Exit(2)
+	}
+
+	eng, err := repro.NewEngine(repro.EngineOptions{
+		Workers: *pool, MaxInflight: *maxInflight, DynamicRatio: *dratio,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hsdserve: %v\n", err)
+		os.Exit(2)
+	}
+	defer eng.Close()
+
+	s := &server{eng: eng, keep: *keep, facs: map[string]*repro.Factorization{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/factor", s.handleFactor)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		// Generous body/response windows: factor payloads can be large
+		// and jobs queue behind the admission bound, but no connection
+		// may sit on a goroutine forever.
+		ReadTimeout:  5 * time.Minute,
+		WriteTimeout: 5 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+	log.Printf("hsdserve: engine up (%+v), listening on %s", eng.Stats(), *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("hsdserve: %v", err)
+	}
+}

@@ -166,6 +166,38 @@ type Factorization struct {
 // exactly zero column — returns an error rather than panicking (the
 // runtime converts numerical-failure panics in tasks into errors).
 func Factor(a *mat.Dense, opt Options) (*Factorization, error) {
+	job, err := PrepareFactor(a, opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := rt.Run(job.Graph(), job.Policy(), rt.Options{
+		Workers: job.Opt.Workers, Trace: job.Opt.Trace, Noise: job.Opt.Noise,
+		GlobalLock: job.Opt.globalLock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return job.Finish(res), nil
+}
+
+// FactorJob is a prepared factorization: the layout is allocated and
+// the CALU task graph is built, but nothing has executed yet. It
+// decouples graph construction from graph execution so a caller that
+// owns its workers — the resident engine — can drive the graph through
+// an rt.Executor instead of the spawn-per-call rt.Run. A FactorJob is
+// single-use: its task closures mutate the layout in place.
+type FactorJob struct {
+	// Opt is the fully defaulted option set the job was built with.
+	Opt Options
+	cg  *dag.CALUGraph
+}
+
+// PrepareFactor builds the CALU graph for factoring a (which is not
+// modified) under opt. The static distribution is built for
+// opt.Workers owners; executing the graph with additional lending
+// slots (rt.Options.Helpers) does not change the arithmetic, since the
+// graph's dataflow fixes it completely.
+func PrepareFactor(a *mat.Dense, opt Options) (*FactorJob, error) {
 	opt.fill()
 	grid := layout.NewGrid(opt.Workers)
 	l := layout.New(opt.Layout, a, opt.Block, grid)
@@ -177,22 +209,28 @@ func Factor(a *mat.Dense, opt Options) (*Factorization, error) {
 	if err := cg.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid CALU graph: %w", err)
 	}
-	res, err := rt.Run(cg.Graph, opt.policy(), rt.Options{
-		Workers: opt.Workers, Trace: opt.Trace, Noise: opt.Noise, GlobalLock: opt.globalLock,
-	})
-	if err != nil {
-		return nil, err
-	}
-	perm := cg.FinishPermutation()
-	lf, uf := ExtractLU(l)
+	return &FactorJob{Opt: opt, cg: cg}, nil
+}
+
+// Graph returns the task graph to execute.
+func (j *FactorJob) Graph() *dag.Graph { return j.cg.Graph }
+
+// Policy returns a fresh scheduling policy instance for this job.
+func (j *FactorJob) Policy() sched.Policy { return j.Opt.policy() }
+
+// Finish assembles the Factorization after the graph has executed to
+// completion with the given runtime result.
+func (j *FactorJob) Finish(res rt.Result) *Factorization {
+	perm := j.cg.FinishPermutation()
+	lf, uf := ExtractLU(j.cg.Layout)
 	return &Factorization{
 		Perm:     perm,
 		L:        lf,
 		U:        uf,
 		Makespan: res.Makespan,
 		Counters: res.Counters,
-		Stats:    cg.ComputeStats(),
-	}, nil
+		Stats:    j.cg.ComputeStats(),
+	}
 }
 
 // ExtractLU reads the packed factors out of a factored layout: L is the

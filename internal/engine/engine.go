@@ -1,0 +1,589 @@
+// Package engine is the resident factorization service: one long-lived
+// pool of worker goroutines executing many Factor/Solve jobs
+// concurrently, instead of every call spawning and tearing down its own
+// workers (the one-shot rt.Run mode).
+//
+// The scheduling is the paper's hybrid static/dynamic split lifted to
+// the inter-job level. Within one factorization, Donfack et al. reserve
+// a static share of the block columns for locality and let a dynamic
+// share absorb load imbalance; across competing jobs the engine does
+// the same with workers. Each admitted job receives a static
+// reservation — a guaranteed share of the pool that attaches to the
+// job's rt.Executor and drives it to completion, preserving the
+// intra-job owner-computes locality — while the pool's dynamic share
+// (Options.DynamicRatio) floats: an idle floater lends itself to
+// whichever job has published globally poppable work (the shared
+// dynamic heap of the hybrid policy, stealable deques of work
+// stealing), absorbing inter-job imbalance exactly like the paper's
+// dynamic section absorbs intra-job imbalance. DynamicRatio 0 is the
+// fully static A/B end (jobs partition the pool, no lending) and 1 is
+// the fully dynamic end (every job pinned to a single guaranteed
+// worker, everyone else floating).
+//
+// Jobs enter a bounded admission queue (Options.MaxInflight) and start
+// FIFO as static capacity frees up; a job whose requested share is not
+// available starts anyway with what the pool can guarantee (at least
+// one worker), so service is work-conserving and a job can never be
+// starved by wide requests. The granted share is the parallelism the
+// job's task graph is built for: its result is bit-identical to a
+// one-shot core.Factor at Workers=Granted (the graph's dataflow fixes
+// the arithmetic; scheduling only reorders it).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/rt"
+)
+
+var (
+	// ErrClosed is returned by submissions after Close.
+	ErrClosed = errors.New("engine: closed")
+	// ErrSaturated is returned by TrySubmit* when the admission queue
+	// is at MaxInflight.
+	ErrSaturated = errors.New("engine: admission queue full")
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the resident pool size (default runtime.NumCPU()).
+	Workers int
+	// MaxInflight bounds admitted jobs (queued + running); further
+	// submissions block (Submit*) or fail (TrySubmit*). Default
+	// 4*Workers.
+	MaxInflight int
+	// DynamicRatio is the inter-job dratio: the fraction of the pool
+	// that lends itself dynamically across jobs instead of being
+	// reservable as static per-job shares. 0 partitions the pool fully
+	// statically (no lending — the A/B baseline); 1 pins each job to
+	// one guaranteed worker and floats everyone else (fully dynamic).
+	// Values in between reproduce the paper's hybrid sweet spot at the
+	// job level.
+	DynamicRatio float64
+}
+
+func (o *Options) fill() error {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 4 * o.Workers
+	}
+	if o.DynamicRatio < 0 || o.DynamicRatio > 1 || math.IsNaN(o.DynamicRatio) {
+		return fmt.Errorf("engine: DynamicRatio %v outside [0,1]", o.DynamicRatio)
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the engine.
+type Stats struct {
+	// Workers is the resident pool size; Floaters its dynamic share.
+	Workers, Floaters int
+	// Pending and Active count admitted jobs by phase; ReservedInUse is
+	// the sum of active jobs' static grants; HelpersOut the floaters
+	// currently lent to a job.
+	Pending, Active, ReservedInUse, HelpersOut int
+	// JobsDone/JobsFailed count completed jobs; Lends counts Assist
+	// attachments that executed at least one task for a foreign job.
+	JobsDone, JobsFailed, Lends int64
+	Closed                      bool
+}
+
+// Engine is the resident factorization service. Create with New, feed
+// with Submit*/TrySubmit*, and Close when done.
+type Engine struct {
+	opt Options
+	ws  *kernel.Reservation
+
+	mu    sync.Mutex
+	work  *sync.Cond // workers wait here for assignments
+	capa  *sync.Cond // submitters wait here for admission capacity
+	queue []*Job     // admitted, not yet started (FIFO)
+	run   []*Job     // started, executor live
+	// inflight = len(queue) + started-but-unfinished jobs; bounded by
+	// MaxInflight.
+	inflight      int
+	reservedInUse int
+	helpersOut    int
+	rotor         int
+	closed        bool
+
+	wg sync.WaitGroup
+
+	jobsDone   atomic.Int64
+	jobsFailed atomic.Int64
+	lends      atomic.Int64
+}
+
+// New starts a resident engine: the worker goroutines and the pool-wide
+// kernel workspace reservation live until Close.
+func New(opt Options) (*Engine, error) {
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	e := &Engine{opt: opt}
+	e.work = sync.NewCond(&e.mu)
+	e.capa = sync.NewCond(&e.mu)
+	// One refcounted pool-wide reservation: at most Workers goroutines
+	// ever call kernels at once, however many jobs are in flight, so
+	// per-job executors run with ExternalWorkspace.
+	e.ws = kernel.Reserve(opt.Workers)
+	e.wg.Add(opt.Workers)
+	for w := 0; w < opt.Workers; w++ {
+		go e.worker()
+	}
+	return e, nil
+}
+
+// floaters is the pool's dynamic share: the number of workers that lend
+// themselves across jobs instead of being statically reservable.
+func (e *Engine) floaters() int {
+	return int(math.Round(float64(e.opt.Workers) * e.opt.DynamicRatio))
+}
+
+// Close rejects queued jobs, waits for running jobs and the workers to
+// finish, and releases the pool's kernel workspaces. Safe to call once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	dropped := e.queue
+	e.queue = nil
+	e.inflight -= len(dropped)
+	e.work.Broadcast()
+	e.capa.Broadcast()
+	e.mu.Unlock()
+	for _, j := range dropped {
+		j.err = ErrClosed
+		e.jobsFailed.Add(1)
+		close(j.done)
+	}
+	e.wg.Wait()
+	e.ws.Release()
+}
+
+// Stats returns a snapshot of the engine's state.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	s := Stats{
+		Workers:       e.opt.Workers,
+		Floaters:      e.floaters(),
+		Pending:       len(e.queue),
+		Active:        len(e.run),
+		ReservedInUse: e.reservedInUse,
+		HelpersOut:    e.helpersOut,
+		Closed:        e.closed,
+	}
+	e.mu.Unlock()
+	s.JobsDone = e.jobsDone.Load()
+	s.JobsFailed = e.jobsFailed.Load()
+	s.Lends = e.lends.Load()
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Jobs.
+
+type jobKind uint8
+
+const (
+	factorJob jobKind = iota
+	solveJob
+)
+
+// Job is the handle of one submitted Factor or Solve. Wait (or Done)
+// observes completion; the result accessors are valid afterwards.
+type Job struct {
+	kind jobKind
+
+	// Factor inputs/state.
+	a       *mat.Dense
+	reqOpt  core.Options
+	fj      *core.FactorJob
+	ex      *rt.Executor
+	granted int
+	// nextSeat hands reserved seats [1,granted) to claiming workers
+	// (seat 0 belongs to the starter); guarded by Engine.mu.
+	nextSeat int
+	// helperSlots holds the free lending-slot ids of this job's
+	// executor; possession of an id serializes Assist on that slot.
+	helperSlots chan int
+	// lendHint is set when the executor published shared work with all
+	// reserved workers busy, and cleared by a floater that attached
+	// and found nothing: the engine only sends floaters where the hint
+	// is up.
+	lendHint  atomic.Bool
+	finishing atomic.Bool
+
+	// Solve inputs.
+	f *core.Factorization
+	b []float64
+
+	queued, started time.Time
+	queueWait, span time.Duration
+
+	done chan struct{}
+	fac  *core.Factorization
+	x    []float64
+	err  error
+}
+
+// req is the requested static share; unset means "as much as the pool
+// can guarantee".
+func (j *Job) req(pool int) int {
+	if j.kind == solveJob {
+		return 1
+	}
+	if j.reqOpt.Workers <= 0 {
+		return pool
+	}
+	return j.reqOpt.Workers
+}
+
+// Done returns a channel closed when the job has completed.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes and returns its error, if any.
+func (j *Job) Wait() error {
+	<-j.done
+	return j.err
+}
+
+// Factorization returns the result of a completed Factor job.
+func (j *Job) Factorization() *core.Factorization { return j.fac }
+
+// Solution returns the result of a completed Solve job.
+func (j *Job) Solution() []float64 { return j.x }
+
+// Granted is the static worker share the job ran with (valid once the
+// job has started; final after Wait). The result is bit-identical to a
+// one-shot core.Factor at Workers=Granted.
+func (j *Job) Granted() int { return j.granted }
+
+// QueueWait is the time the job spent admitted but not started; Span
+// is its start-to-completion service time.
+func (j *Job) QueueWait() time.Duration { return j.queueWait }
+func (j *Job) Span() time.Duration      { return j.span }
+
+// SubmitFactor admits a factorization of a (not modified) under opt,
+// blocking while the admission queue is full. opt.Workers is the
+// requested static share; the engine may grant less under load (at
+// least 1), recorded in Job.Granted.
+func (e *Engine) SubmitFactor(a *mat.Dense, opt core.Options) (*Job, error) {
+	if a == nil || a.Rows == 0 || a.Cols == 0 {
+		return nil, errors.New("engine: factor needs a non-empty matrix")
+	}
+	return e.admit(&Job{kind: factorJob, a: a, reqOpt: opt, done: make(chan struct{})}, true)
+}
+
+// TrySubmitFactor is SubmitFactor with ErrSaturated instead of
+// blocking when the admission queue is full.
+func (e *Engine) TrySubmitFactor(a *mat.Dense, opt core.Options) (*Job, error) {
+	if a == nil || a.Rows == 0 || a.Cols == 0 {
+		return nil, errors.New("engine: factor needs a non-empty matrix")
+	}
+	return e.admit(&Job{kind: factorJob, a: a, reqOpt: opt, done: make(chan struct{})}, false)
+}
+
+// SubmitSolve admits a solve of f (a completed factorization) against
+// rhs b, blocking while the admission queue is full.
+func (e *Engine) SubmitSolve(f *core.Factorization, b []float64) (*Job, error) {
+	if f == nil || f.L == nil {
+		return nil, errors.New("engine: solve needs a completed factorization")
+	}
+	return e.admit(&Job{kind: solveJob, f: f, b: b, done: make(chan struct{})}, true)
+}
+
+// TrySubmitSolve is SubmitSolve with ErrSaturated instead of blocking.
+func (e *Engine) TrySubmitSolve(f *core.Factorization, b []float64) (*Job, error) {
+	if f == nil || f.L == nil {
+		return nil, errors.New("engine: solve needs a completed factorization")
+	}
+	return e.admit(&Job{kind: solveJob, f: f, b: b, done: make(chan struct{})}, false)
+}
+
+func (e *Engine) admit(j *Job, wait bool) (*Job, error) {
+	e.mu.Lock()
+	for {
+		if e.closed {
+			e.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if e.inflight < e.opt.MaxInflight {
+			break
+		}
+		if !wait {
+			e.mu.Unlock()
+			return nil, ErrSaturated
+		}
+		e.capa.Wait()
+	}
+	e.inflight++
+	j.queued = time.Now()
+	e.queue = append(e.queue, j)
+	e.work.Signal()
+	e.mu.Unlock()
+	return j, nil
+}
+
+// ---------------------------------------------------------------------
+// The resident worker loop.
+
+// worker is one resident pool goroutine. Assignments, in preference
+// order: claim an open reserved seat of a running job (finish what was
+// started), start the queue head, or float — lend itself to a running
+// job that has signalled spare shared work.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		var j *Job
+		var seat, slot int
+		mode := 0
+		for {
+			if j, seat = e.claimSeatLocked(); j != nil {
+				mode = 1
+				break
+			}
+			if j = e.startableLocked(); j != nil {
+				mode = 2
+				break
+			}
+			if j, slot = e.assistableLocked(); j != nil {
+				mode = 3
+				e.helpersOut++
+				break
+			}
+			// Exit on inflight, not queue/run emptiness: a job between
+			// startableLocked and its publication to e.run (its starter
+			// is building the graph outside the lock) is in neither
+			// list, but its open reserved seats still need this worker
+			// — only completeJob's inflight decrement says it is safe
+			// to go.
+			if e.closed && e.inflight == 0 {
+				e.mu.Unlock()
+				return
+			}
+			e.work.Wait()
+		}
+		e.mu.Unlock()
+		switch mode {
+		case 1:
+			e.driveJob(j, seat)
+		case 2:
+			e.startJob(j)
+		case 3:
+			// Lower the hint BEFORE probing: a shared publish that
+			// lands mid-assist then wins the lendSignal CAS and sends a
+			// fresh signal, so no lend request is ever swallowed by the
+			// store. If the probe does find work, re-raise the hint —
+			// a queue deep enough to feed one floater likely has more.
+			j.lendHint.Store(false)
+			if j.ex.Assist(slot) {
+				e.lends.Add(1)
+				j.lendHint.Store(true)
+			}
+			j.helperSlots <- slot
+			e.mu.Lock()
+			e.helpersOut--
+			e.mu.Unlock()
+		}
+	}
+}
+
+// claimSeatLocked finds a running job with an unclaimed reserved seat.
+func (e *Engine) claimSeatLocked() (*Job, int) {
+	for _, j := range e.run {
+		if j.nextSeat < j.granted {
+			s := j.nextSeat
+			j.nextSeat++
+			return j, s
+		}
+	}
+	return nil, 0
+}
+
+// startableLocked pops the queue head if the pool can grant it a
+// static share. Admission is strictly FIFO: a wide job at the head
+// waits for capacity rather than being bypassed.
+func (e *Engine) startableLocked() *Job {
+	if len(e.queue) == 0 {
+		return nil
+	}
+	g := e.grantLocked(e.queue[0].req(e.opt.Workers))
+	if g == 0 {
+		return nil
+	}
+	j := e.queue[0]
+	e.queue = e.queue[1:]
+	j.granted = g
+	e.reservedInUse += g
+	return j
+}
+
+// grantLocked sizes a job's static share: its request capped by the
+// reservable share S = Workers - floaters, with a floor of one worker
+// (the per-job liveness guarantee — lending slots cannot serve
+// owner-pinned tasks, so every job keeps at least one reserved
+// driver), and never more seats than workers left unreserved.
+func (e *Engine) grantLocked(req int) int {
+	free := e.opt.Workers - e.reservedInUse
+	if free < 1 {
+		return 0
+	}
+	g := req
+	if avail := e.opt.Workers - e.floaters() - e.reservedInUse; g > avail {
+		g = avail
+	}
+	if g < 1 {
+		g = 1
+	}
+	if g > free {
+		g = free
+	}
+	return g
+}
+
+// assistableLocked finds a running job whose lend hint is up and
+// borrows one of its lending slots, bounded by the pool's floater
+// share.
+func (e *Engine) assistableLocked() (*Job, int) {
+	d := e.floaters()
+	if d == 0 || e.helpersOut >= d || len(e.run) == 0 {
+		return nil, 0
+	}
+	n := len(e.run)
+	for i := 0; i < n; i++ {
+		j := e.run[(e.rotor+i)%n]
+		if !j.lendHint.Load() {
+			continue
+		}
+		select {
+		case s := <-j.helperSlots:
+			e.rotor = (e.rotor + i + 1) % n
+			return j, s
+		default:
+		}
+	}
+	return nil, 0
+}
+
+// startJob runs the admitted job: solves execute inline on the
+// starting worker; factorizations build their graph and executor (the
+// expensive part, outside the engine lock), publish their open seats
+// and lending slots, and the starter becomes reserved driver 0.
+func (e *Engine) startJob(j *Job) {
+	j.started = time.Now()
+	j.queueWait = j.started.Sub(j.queued)
+	if j.kind == solveJob {
+		j.x, j.err = j.f.Solve(j.b)
+		e.completeJob(j, false)
+		return
+	}
+	opt := j.reqOpt
+	opt.Workers = j.granted
+	fj, err := core.PrepareFactor(j.a, opt)
+	if err != nil {
+		j.err = err
+		e.completeJob(j, false)
+		return
+	}
+	helpers := e.floaters()
+	ex, err := rt.NewExecutor(fj.Graph(), fj.Policy(), rt.Options{
+		Workers:           j.granted,
+		Helpers:           helpers,
+		ExternalWorkspace: true,
+		Trace:             opt.Trace,
+		Noise:             opt.Noise,
+		Lend:              func() { e.lendSignal(j) },
+	})
+	if err != nil {
+		j.err = err
+		e.completeJob(j, false)
+		return
+	}
+	j.fj, j.ex = fj, ex
+	j.helperSlots = make(chan int, helpers)
+	for s := 0; s < helpers; s++ {
+		j.helperSlots <- j.granted + s
+	}
+	// The seeded roots may already include shared work.
+	j.lendHint.Store(true)
+	j.nextSeat = 1 // seat 0 is ours
+	e.mu.Lock()
+	e.run = append(e.run, j)
+	// Open seats and lending slots are up for grabs; queued jobs may
+	// also now start on other workers.
+	e.work.Broadcast()
+	e.mu.Unlock()
+	e.driveJob(j, 0)
+}
+
+// lendSignal is the executor's Lend hook: shared work was published
+// while every reserved worker of j was busy. Raise the job's hint and
+// poke one parked pool worker. The engine lock is taken so the signal
+// cannot slip between a parked worker's last scan and its wait.
+func (e *Engine) lendSignal(j *Job) {
+	if j.lendHint.CompareAndSwap(false, true) {
+		e.mu.Lock()
+		e.work.Signal()
+		e.mu.Unlock()
+	}
+}
+
+// driveJob attaches as reserved worker `seat` until the run completes;
+// the first driver back finalizes the job.
+func (e *Engine) driveJob(j *Job, seat int) {
+	j.ex.Drive(seat)
+	if !j.finishing.CompareAndSwap(false, true) {
+		return
+	}
+	res, err := j.ex.Wait()
+	if err != nil {
+		j.err = err
+	} else {
+		j.fac = j.fj.Finish(res)
+	}
+	e.completeJob(j, true)
+}
+
+// completeJob releases the job's grant, retires it from the running
+// set, records stats and wakes submitters waiting on admission
+// capacity.
+func (e *Engine) completeJob(j *Job, running bool) {
+	e.mu.Lock()
+	e.reservedInUse -= j.granted
+	e.inflight--
+	if running {
+		for i, r := range e.run {
+			if r == j {
+				e.run = append(e.run[:i], e.run[i+1:]...)
+				break
+			}
+		}
+	}
+	e.work.Broadcast()
+	// Exactly one admission slot was freed: wake one blocked
+	// submitter, not all of them (Close is the broadcast case).
+	e.capa.Signal()
+	e.mu.Unlock()
+	if j.err != nil {
+		e.jobsFailed.Add(1)
+	} else {
+		e.jobsDone.Add(1)
+	}
+	j.span = time.Since(j.started)
+	close(j.done)
+}

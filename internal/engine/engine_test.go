@@ -1,0 +1,553 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/mat"
+	"repro/internal/trace"
+)
+
+const tol = 1e-9
+
+var allSchedulers = []core.Scheduler{
+	core.ScheduleStatic, core.ScheduleDynamic, core.ScheduleHybrid, core.ScheduleWorkStealing,
+}
+
+// sameFactorization fails unless f and ref have bit-identical pivot
+// sequences and factors.
+func sameFactorization(t *testing.T, tag string, f, ref *core.Factorization) {
+	t.Helper()
+	for i := range ref.Perm {
+		if f.Perm[i] != ref.Perm[i] {
+			t.Fatalf("%s: pivot %d differs: %d vs %d", tag, i, f.Perm[i], ref.Perm[i])
+		}
+	}
+	for i := range ref.L.Data {
+		if f.L.Data[i] != ref.L.Data[i] {
+			t.Fatalf("%s: L[%d] differs: %x vs %x",
+				tag, i, math.Float64bits(f.L.Data[i]), math.Float64bits(ref.L.Data[i]))
+		}
+	}
+	for i := range ref.U.Data {
+		if f.U.Data[i] != ref.U.Data[i] {
+			t.Fatalf("%s: U[%d] differs: %x vs %x",
+				tag, i, math.Float64bits(f.U.Data[i]), math.Float64bits(ref.U.Data[i]))
+		}
+	}
+}
+
+// TestEngineConcurrentJobsBitIdentical is the engine's end-to-end
+// guarantee: N simultaneous Factor jobs across every scheduler and
+// mixed requested worker counts produce pivots/L/U bit-identical to
+// the same jobs run serially through the one-shot path at the granted
+// share (the graph's dataflow fixes the arithmetic; a shared resident
+// pool only reorders it). Run under -race to certify the engine's
+// attach/detach and lending paths.
+func TestEngineConcurrentJobsBitIdentical(t *testing.T) {
+	e, err := New(Options{Workers: 4, MaxInflight: 16, DynamicRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(101))
+	type spec struct {
+		a   *mat.Dense
+		opt core.Options
+		job *Job
+	}
+	var specs []*spec
+	sizes := [][2]int{{64, 64}, {96, 96}, {72, 48}, {80, 80}}
+	if testing.Short() {
+		sizes = sizes[:2]
+	}
+	for si, sz := range sizes {
+		for wi, workers := range []int{1, 2, 4} {
+			s := &spec{
+				a: mat.Random(sz[0], sz[1], rng),
+				opt: core.Options{
+					Block: 8, Workers: workers,
+					Scheduler:    allSchedulers[(si+wi)%len(allSchedulers)],
+					DynamicRatio: 0.3, Seed: int64(si),
+				},
+			}
+			specs = append(specs, s)
+		}
+	}
+	// Submit everything at once so jobs genuinely overlap on the pool.
+	for _, s := range specs {
+		j, err := e.SubmitFactor(s.a, s.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.job = j
+	}
+	for i, s := range specs {
+		if err := s.job.Wait(); err != nil {
+			t.Fatalf("job %d (%v): %v", i, s.opt.Scheduler, err)
+		}
+		// The serial rerun of the same job: identical options at the
+		// share the engine granted (the parallelism the task graph was
+		// built for).
+		ser := s.opt
+		ser.Workers = s.job.Granted()
+		ref, err := core.Factor(s.a, ser)
+		if err != nil {
+			t.Fatalf("serial rerun %d: %v", i, err)
+		}
+		tag := s.opt.Scheduler.String()
+		sameFactorization(t, tag, s.job.Factorization(), ref)
+		if r := core.Residual(s.a, s.job.Factorization()); r > tol {
+			t.Fatalf("job %d residual %g", i, r)
+		}
+	}
+}
+
+// TestEngineJobsOverlap proves two jobs execute genuinely concurrently
+// on the shared pool: each job's first executed task blocks until the
+// other job has also executed one, a rendezvous that only completes if
+// the engine runs both at once.
+func TestEngineJobsOverlap(t *testing.T) {
+	e, err := New(Options{Workers: 4, MaxInflight: 8, DynamicRatio: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	mkNoise := func(mine, other chan struct{}, timedOut *bool) func(int) time.Duration {
+		var once sync.Once
+		return func(int) time.Duration {
+			once.Do(func() {
+				close(mine)
+				select {
+				case <-other:
+				case <-time.After(20 * time.Second):
+					*timedOut = true
+				}
+			})
+			return 0
+		}
+	}
+	c1, c2 := make(chan struct{}), make(chan struct{})
+	var to1, to2 bool
+	a1, a2 := mat.Random(64, 64, rng), mat.Random(64, 64, rng)
+	j1, err := e.SubmitFactor(a1, core.Options{
+		Block: 8, Workers: 1, Scheduler: core.ScheduleHybrid, DynamicRatio: 0.3,
+		Noise: mkNoise(c1, c2, &to1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := e.SubmitFactor(a2, core.Options{
+		Block: 8, Workers: 1, Scheduler: core.ScheduleHybrid, DynamicRatio: 0.3,
+		Noise: mkNoise(c2, c1, &to2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if to1 || to2 {
+		t.Fatal("rendezvous timed out: the jobs did not overlap")
+	}
+	if r := core.Residual(a1, j1.Factorization()); r > tol {
+		t.Fatalf("job 1 residual %g", r)
+	}
+	if r := core.Residual(a2, j2.Factorization()); r > tol {
+		t.Fatalf("job 2 residual %g", r)
+	}
+}
+
+// TestEngineSingularFallback routes the tournament prefix-fallback
+// path (an exactly singular chunk confined to one panel region)
+// through the engine under every scheduler: the jobs must complete
+// with normal residuals and match their serial reruns bit for bit.
+func TestEngineSingularFallback(t *testing.T) {
+	e, err := New(Options{Workers: 4, MaxInflight: 8, DynamicRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(71))
+	a := mat.Random(64, 64, rng)
+	// Blank the panel columns of rows 4..31 so the first tournament
+	// chunk of panel 0 is exactly singular while the matrix stays
+	// nonsingular (the same construction as core's singular tests).
+	for i := 4; i < 32; i++ {
+		for j := 0; j < 8; j++ {
+			a.Set(i, j, 0)
+		}
+	}
+	var jobs []*Job
+	var opts []core.Options
+	for _, s := range allSchedulers {
+		opt := core.Options{
+			Layout: layout.BCL, Block: 8, Workers: 4,
+			Scheduler: s, DynamicRatio: 0.25,
+		}
+		j, err := e.SubmitFactor(a, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+		opts = append(opts, opt)
+	}
+	for i, j := range jobs {
+		if err := j.Wait(); err != nil {
+			t.Fatalf("%v: singular chunk aborted the engine job: %v", opts[i].Scheduler, err)
+		}
+		if r := core.Residual(a, j.Factorization()); r > tol {
+			t.Fatalf("%v: residual %g", opts[i].Scheduler, r)
+		}
+		ser := opts[i]
+		ser.Workers = j.Granted()
+		ref, err := core.Factor(a, ser)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameFactorization(t, opts[i].Scheduler.String(), j.Factorization(), ref)
+	}
+}
+
+// TestEngineSolve round-trips Factor then Solve through the engine.
+func TestEngineSolve(t *testing.T) {
+	e, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	a := core.RandomSPD(48, 3)
+	fj, err := e.SubmitFactor(a, core.Options{Block: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fj.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 48)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	sj, err := e.SubmitSolve(fj.Factorization(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sj.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if r := core.SolveResidual(a, sj.Solution(), b); r > tol {
+		t.Fatalf("solve residual %g", r)
+	}
+}
+
+// TestEngineAdmissionBound holds the pool busy with a gated job and
+// checks TrySubmit fails with ErrSaturated exactly at MaxInflight.
+func TestEngineAdmissionBound(t *testing.T) {
+	e, err := New(Options{Workers: 1, MaxInflight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	gate := make(chan struct{})
+	var once sync.Once
+	rng := rand.New(rand.NewSource(5))
+	a := mat.Random(32, 32, rng)
+	blocked, err := e.SubmitFactor(a, core.Options{
+		Block: 8, Workers: 1,
+		Noise: func(int) time.Duration { once.Do(func() { <-gate }); return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := e.TrySubmitFactor(a, core.Options{Block: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.TrySubmitFactor(a, core.Options{Block: 8, Workers: 1}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("expected ErrSaturated at MaxInflight, got %v", err)
+	}
+	close(gate)
+	if err := blocked.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := queued.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity freed: submission works again.
+	j, err := e.TrySubmitFactor(a, core.Options{Block: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineStaticDynamicKnob pins the two A/B endpoints of the
+// inter-job split: at DynamicRatio 0 the pool partitions statically
+// and never lends; at 1 every job runs on exactly one guaranteed
+// worker plus lending, and with a shared-queue scheduler the floaters
+// demonstrably execute foreign tasks.
+func TestEngineStaticDynamicKnob(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := mat.Random(128, 128, rng)
+
+	est, err := New(Options{Workers: 4, MaxInflight: 8, DynamicRatio: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		j, err := est.SubmitFactor(a, core.Options{
+			Block: 16, Workers: 2, Scheduler: core.ScheduleDynamic,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lends := est.Stats().Lends; lends != 0 {
+		t.Fatalf("fully static engine lent %d times", lends)
+	}
+	est.Close()
+
+	edy, err := New(Options{Workers: 4, MaxInflight: 8, DynamicRatio: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edy.Close()
+	// One job with a single reserved driver and three floaters. The
+	// driver deterministically stalls (Noise hook) on its fourth task —
+	// after panel 0's Final has fanned the U tasks into the shared heap
+	// — until a floater has executed one, so lending must happen even
+	// on a single-CPU host where a fast driver would otherwise drain
+	// the whole graph before a floater ever runs.
+	var driverTasks int
+	floaterRan := make(chan struct{})
+	var floaterOnce sync.Once
+	timedOut := false
+	// The trace is sized for the REQUESTED worker count; floater spans
+	// land on lending slots beyond it, which the executor must grow the
+	// trace to hold rather than panic (regression: out-of-range merge).
+	tr := trace.New(4)
+	j, err := edy.SubmitFactor(a, core.Options{
+		Block: 16, Workers: 4, Scheduler: core.ScheduleDynamic, Trace: tr,
+		Noise: func(w int) time.Duration {
+			if w != 0 {
+				floaterOnce.Do(func() { close(floaterRan) })
+				return 0
+			}
+			driverTasks++
+			if driverTasks == 4 {
+				select {
+				case <-floaterRan:
+				case <-time.After(20 * time.Second):
+					timedOut = true
+				}
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if timedOut {
+		t.Fatal("no floater executed a task while the reserved driver was stalled")
+	}
+	if j.Granted() != 1 {
+		t.Fatalf("fully dynamic engine granted %d reserved workers, want 1", j.Granted())
+	}
+	if lends := edy.Stats().Lends; lends == 0 {
+		t.Fatal("fully dynamic engine never lent a worker to a shared-queue job")
+	}
+	spans, helperSpans := 0, 0
+	for w, s := range tr.Spans {
+		spans += len(s)
+		if w >= 1 { // slots beyond the single reserved driver
+			helperSpans += len(s)
+		}
+	}
+	if want := j.Factorization().Stats.Total; spans != want {
+		t.Fatalf("trace recorded %d spans want %d", spans, want)
+	}
+	if helperSpans == 0 {
+		t.Fatal("no spans on lending-slot timelines despite a forced lend")
+	}
+}
+
+// TestEngineCloseSemantics: queued jobs are rejected with ErrClosed,
+// running jobs complete, and later submissions fail.
+func TestEngineCloseSemantics(t *testing.T) {
+	e, err := New(Options{Workers: 1, MaxInflight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate, started := make(chan struct{}), make(chan struct{})
+	var once sync.Once
+	rng := rand.New(rand.NewSource(13))
+	a := mat.Random(32, 32, rng)
+	running, err := e.SubmitFactor(a, core.Options{
+		Block: 8, Workers: 1,
+		Noise: func(int) time.Duration {
+			once.Do(func() { close(started); <-gate })
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the job is genuinely running before Close
+	queued, err := e.SubmitFactor(a, core.Options{Block: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	go func() { e.Close(); close(closed) }()
+	// Close must reject the queued job even while a job is running.
+	if err := queued.Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("queued job got %v, want ErrClosed", err)
+	}
+	close(gate)
+	if err := running.Wait(); err != nil {
+		t.Fatalf("running job must complete across Close: %v", err)
+	}
+	<-closed
+	if _, err := e.SubmitFactor(a, core.Options{Block: 8}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submission after Close got %v, want ErrClosed", err)
+	}
+}
+
+// TestEngineCloseDuringStartGap races Close against the window where a
+// multi-seat job has been popped from the queue but not yet published
+// to the running set (its starter is building the graph outside the
+// engine lock). Workers must not treat the pool as drained during that
+// gap: the job's open reserved seats still need them, and exiting
+// early deadlocks the job and Close (regression test — exit is keyed
+// off inflight, which does count in-gap jobs).
+func TestEngineCloseDuringStartGap(t *testing.T) {
+	iters := 50
+	if testing.Short() {
+		iters = 10
+	}
+	rng := rand.New(rand.NewSource(31))
+	a := mat.Random(192, 192, rng) // sizeable graph build widens the gap
+	for i := 0; i < iters; i++ {
+		e, err := New(Options{Workers: 2, MaxInflight: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := e.SubmitFactor(a, core.Options{Block: 8, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := make(chan struct{})
+		go func() { e.Close(); close(closed) }()
+		select {
+		case <-j.Done():
+		case <-time.After(30 * time.Second):
+			t.Fatal("job stranded: a worker exited while its reserved seat was pending")
+		}
+		if err := j.Wait(); err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatal(err)
+		}
+		select {
+		case <-closed:
+		case <-time.After(30 * time.Second):
+			t.Fatal("Close hung")
+		}
+	}
+}
+
+// TestEngineStress floods a small pool with concurrent mixed-size,
+// mixed-scheduler Factor and Solve traffic from several submitter
+// goroutines — the short-mode engine stress for the -race job.
+func TestEngineStress(t *testing.T) {
+	e, err := New(Options{Workers: 4, MaxInflight: 8, DynamicRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	submitters, perSub := 4, 6
+	if testing.Short() {
+		submitters, perSub = 2, 3
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + s)))
+			for k := 0; k < perSub; k++ {
+				n := 24 + 8*((s+k)%6)
+				a := mat.Random(n, n, rng)
+				opt := core.Options{
+					Block: 8, Workers: 1 + (s+k)%4,
+					Scheduler:    allSchedulers[(s+k)%len(allSchedulers)],
+					DynamicRatio: 0.25, Seed: int64(k),
+				}
+				j, err := e.SubmitFactor(a, opt)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if err := j.Wait(); err != nil {
+					t.Errorf("factor %dx%d: %v", n, n, err)
+					return
+				}
+				if r := core.Residual(a, j.Factorization()); r > tol {
+					t.Errorf("factor %dx%d residual %g", n, n, r)
+					return
+				}
+				b := make([]float64, n)
+				for i := range b {
+					b[i] = rng.NormFloat64()
+				}
+				sj, err := e.SubmitSolve(j.Factorization(), b)
+				if err != nil {
+					t.Errorf("solve submit: %v", err)
+					return
+				}
+				if err := sj.Wait(); err != nil {
+					t.Errorf("solve: %v", err)
+					return
+				}
+				if r := core.SolveResidual(a, sj.Solution(), b); r > tol {
+					t.Errorf("solve residual %g", r)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.JobsFailed != 0 {
+		t.Fatalf("%d jobs failed", st.JobsFailed)
+	}
+	if want := int64(2 * submitters * perSub); st.JobsDone != want {
+		t.Fatalf("JobsDone %d want %d", st.JobsDone, want)
+	}
+}

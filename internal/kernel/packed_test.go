@@ -268,7 +268,7 @@ func TestTrsmPropagatesNonFinite(t *testing.T) {
 // distinct outputs: the pooled pack workspaces must never alias.
 func TestGemmPackedConcurrent(t *testing.T) {
 	const workers = 8
-	Reserve(workers)
+	defer Reserve(workers).Release()
 	var wg sync.WaitGroup
 	errs := make([]float64, workers)
 	for w := 0; w < workers; w++ {

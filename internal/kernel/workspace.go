@@ -20,11 +20,27 @@ type workspace struct {
 var (
 	wsMu   sync.Mutex
 	wsFree []*workspace
-	// wsCap bounds the free list so transient bursts of concurrent
-	// GEMMs cannot pin memory forever; Reserve retargets it to the
-	// current run's worker count, shrinking as well as growing.
-	wsCap = runtime.NumCPU()
+	// wsReserved is the sum of all live Reservation sizes. The free
+	// list is bounded by that sum while any reservation is live (each
+	// concurrent run may have all of its workers holding a workspace at
+	// once), and by wsDefaultCap between runs, so transient bursts of
+	// unreserved concurrent GEMMs cannot pin memory forever.
+	wsReserved int
+	// wsOut counts buffer sets currently checked out; free + out is the
+	// population Reserve tops up to the reserved sum, so overlapping
+	// reservations each genuinely get their buffer count even when an
+	// earlier run's buffers are in flight.
+	wsOut        int
+	wsDefaultCap = runtime.NumCPU()
 )
+
+// wsCapLocked returns the current free-list bound; wsMu must be held.
+func wsCapLocked() int {
+	if wsReserved > 0 {
+		return wsReserved
+	}
+	return wsDefaultCap
+}
 
 func newWorkspace() *workspace {
 	return &workspace{
@@ -35,6 +51,7 @@ func newWorkspace() *workspace {
 
 func getWorkspace() *workspace {
 	wsMu.Lock()
+	wsOut++
 	if n := len(wsFree); n > 0 {
 		w := wsFree[n-1]
 		wsFree = wsFree[:n-1]
@@ -47,36 +64,73 @@ func getWorkspace() *workspace {
 
 func putWorkspace(w *workspace) {
 	wsMu.Lock()
-	if len(wsFree) < wsCap {
+	wsOut--
+	if len(wsFree) < wsCapLocked() {
 		wsFree = append(wsFree, w)
 	}
 	wsMu.Unlock()
 }
 
-// Reserve ensures exactly n packing-buffer sets exist on the free
-// list, one per concurrent caller. internal/rt calls it with the
-// worker count before starting a run so no task pays the first-touch
-// allocation of its pack buffers mid-factorization. The cap is
-// per-run, not a high-water mark: a run with fewer workers lowers it
-// and releases the excess buffer sets to the garbage collector, so
-// alternating wide and narrow factorizations in one process does not
-// pin the widest run's ~1.3 MiB-per-worker buffers forever. Buffers
-// checked out by a concurrent run are unaffected; they are simply
-// dropped instead of recycled when returned over the new cap.
-func Reserve(n int) {
+// Reservation is one run's claim on n packing-buffer sets. The free
+// list's bound is the SUM of all live reservations, so overlapping runs
+// (the resident engine executes many factorizations concurrently) each
+// keep their guaranteed buffer count: a 1-worker run starting next to
+// an 8-worker run raises the bound to 9 instead of shrinking it to 1 —
+// the retarget race the old global-cap Reserve had. Release the
+// reservation when the run completes; the bound drops with it and the
+// excess buffer sets are handed to the garbage collector, so
+// alternating wide and narrow runs do not pin the widest run's
+// ~1.3 MiB-per-worker buffers forever.
+type Reservation struct {
+	n int
+}
+
+// Reserve registers a run with n concurrent kernel callers and
+// pre-allocates its buffer sets so no task pays the first-touch
+// allocation of its pack buffers mid-factorization. internal/rt calls
+// it with the worker count before starting a run; the resident engine
+// holds one pool-wide reservation for its whole lifetime. n < 1
+// reserves nothing (the returned Reservation is still valid to
+// Release).
+func Reserve(n int) *Reservation {
 	if n < 1 {
+		return &Reservation{}
+	}
+	wsMu.Lock()
+	defer wsMu.Unlock()
+	wsReserved += n
+	// Two guarantees: this reservation's n buffers are on the free
+	// list right now (checkouts in flight — other runs' or unreserved
+	// callers' — cannot be counted as available to us), and the total
+	// population covers the reserved sum (overlapping reservations
+	// that have not checked out yet each still find their share
+	// later). Either shortfall is topped up here, never
+	// mid-factorization.
+	for len(wsFree) < n || len(wsFree)+wsOut < wsReserved {
+		wsFree = append(wsFree, newWorkspace())
+	}
+	return &Reservation{n: n}
+}
+
+// Release returns the reservation. Idempotent: releasing twice is a
+// no-op (the spent check happens under wsMu, so concurrent or repeated
+// releases cannot double-subtract). The free list is trimmed to the
+// new bound.
+func (r *Reservation) Release() {
+	if r == nil {
 		return
 	}
 	wsMu.Lock()
 	defer wsMu.Unlock()
-	wsCap = n
-	if len(wsFree) > n {
-		for i := n; i < len(wsFree); i++ {
+	if r.n == 0 {
+		return
+	}
+	wsReserved -= r.n
+	r.n = 0
+	if cap := wsCapLocked(); len(wsFree) > cap {
+		for i := cap; i < len(wsFree); i++ {
 			wsFree[i] = nil // release, do not retain via the backing array
 		}
-		wsFree = wsFree[:n]
-	}
-	for len(wsFree) < n {
-		wsFree = append(wsFree, newWorkspace())
+		wsFree = wsFree[:cap]
 	}
 }

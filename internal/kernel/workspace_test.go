@@ -1,40 +1,97 @@
 package kernel
 
 import (
-	"runtime"
+	"sync"
 	"testing"
 )
 
-// Reserve must retarget the free list to the current run's worker
-// count in both directions: a wide run must not pin its buffer sets
-// (~1.3 MiB each) after a narrow run starts.
-func TestReserveDecaysCap(t *testing.T) {
-	defer Reserve(runtime.NumCPU()) // restore a sane default for other tests
-
-	Reserve(6)
+// wsState snapshots the free-list length and the current bound.
+func wsState() (free, bound int) {
 	wsMu.Lock()
-	free, cap6 := len(wsFree), wsCap
-	wsMu.Unlock()
-	if free != 6 || cap6 != 6 {
-		t.Fatalf("after Reserve(6): free=%d cap=%d, want 6/6", free, cap6)
+	defer wsMu.Unlock()
+	return len(wsFree), wsCapLocked()
+}
+
+// The free-list bound must be the SUM of live reservations: a narrow
+// run starting while a wide run is in flight must not shrink the bound
+// out from under the wide run (the retarget race the old global-cap
+// Reserve had), and releases must decay the bound so a wide run's
+// ~1.3 MiB-per-worker buffer sets are not pinned forever.
+func TestReserveRefcountsOverlappingRuns(t *testing.T) {
+	wide := Reserve(6)
+	if free, bound := wsState(); free < 6 || bound != 6 {
+		t.Fatalf("after Reserve(6): free=%d bound=%d, want >=6/6", free, bound)
 	}
 
-	Reserve(1)
-	wsMu.Lock()
-	free, cap1 := len(wsFree), wsCap
-	wsMu.Unlock()
-	if free != 1 || cap1 != 1 {
-		t.Fatalf("after Reserve(1): free=%d cap=%d, want 1/1 (cap must decay)", free, cap1)
+	// Overlapping narrow run: bound grows to the sum, never shrinks,
+	// and the buffer population is topped up to the sum so both runs
+	// find their full share.
+	narrow := Reserve(1)
+	if free, bound := wsState(); bound != 7 || free < 7 {
+		t.Fatalf("overlapping Reserve(1): free=%d bound=%d, want >=7/7 (sum of live reservations)", free, bound)
 	}
 
-	// Buffers returned above the new cap are dropped, not retained.
-	a, b := getWorkspace(), getWorkspace()
+	narrow.Release()
+	if _, bound := wsState(); bound != 6 {
+		t.Fatalf("after narrow release: bound=%d, want 6 (wide run still live)", bound)
+	}
+
+	wide.Release()
+	wide.Release() // idempotent
+	if free, bound := wsState(); bound != wsDefaultCap || free > bound {
+		t.Fatalf("after all releases: free=%d bound=%d, want bound=%d and free<=bound",
+			free, bound, wsDefaultCap)
+	}
+}
+
+// A second reservation taken while the first run's buffers are checked
+// out must still find its full share on the free list.
+func TestReserveTopsUpPastCheckedOut(t *testing.T) {
+	first := Reserve(2)
+	a, b := getWorkspace(), getWorkspace() // first run's workers hold theirs
+	second := Reserve(2)
+	if free, _ := wsState(); free < 2 {
+		t.Fatalf("second Reserve(2) with 2 checked out: free=%d, want >=2", free)
+	}
 	putWorkspace(a)
 	putWorkspace(b)
+	first.Release()
+	second.Release()
+}
+
+// Buffers returned above the bound are dropped, not retained.
+func TestReleaseTrimsFreeList(t *testing.T) {
+	r := Reserve(4)
+	a, b := getWorkspace(), getWorkspace()
+	r.Release()
+	putWorkspace(a)
+	putWorkspace(b)
+	if free, bound := wsState(); free > bound {
+		t.Fatalf("free list %d exceeds bound %d after release", free, bound)
+	}
+}
+
+// Concurrent Reserve/Release cycles with checkouts in between must keep
+// the accounting consistent (run under -race).
+func TestReserveConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				r := Reserve(1 + n%4)
+				w := getWorkspace()
+				putWorkspace(w)
+				r.Release()
+			}
+		}(i)
+	}
+	wg.Wait()
 	wsMu.Lock()
-	free = len(wsFree)
+	reserved := wsReserved
 	wsMu.Unlock()
-	if free > 1 {
-		t.Fatalf("free list grew to %d past the cap of 1", free)
+	if reserved != 0 {
+		t.Fatalf("leaked %d reservations", reserved)
 	}
 }

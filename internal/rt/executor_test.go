@@ -1,0 +1,167 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// wideGraph builds a root fanning out to `width` shared (non-static)
+// tasks; every task bumps the counter.
+func wideGraph(width int, counter *atomic.Int64) *dag.Graph {
+	g := &dag.Graph{Name: "wide", Workers: 1}
+	root := &dag.Task{ID: 0, Kind: dag.Final, Run: func() { counter.Add(1) }}
+	g.Tasks = append(g.Tasks, root)
+	for i := 1; i <= width; i++ {
+		t := &dag.Task{ID: int32(i), Kind: dag.S, NumDeps: 1, Prio: int64(i)}
+		t.Run = func() { counter.Add(1) }
+		root.Outs = append(root.Outs, t.ID)
+		g.Tasks = append(g.Tasks, t)
+	}
+	return g
+}
+
+// TestExecutorAssistExecutesSharedWork drives a dynamic-policy graph
+// with one reserved worker while a second goroutine lends itself
+// through a helper slot: every task must run exactly once and the
+// helper must be able to contribute.
+func TestExecutorAssistExecutesSharedWork(t *testing.T) {
+	var counter atomic.Int64
+	g := wideGraph(200, &counter)
+	e, err := NewExecutor(g, sched.NewDynamic(), Options{Workers: 1, Helpers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.Drive(0)
+	}()
+	// Keep lending slot 1 until the run completes; each Assist detaches
+	// when it sees no shared work, re-borrowing is the engine's loop.
+	for !e.Done() {
+		e.Assist(1)
+	}
+	wg.Wait()
+	if _, err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Load() != 201 {
+		t.Fatalf("ran %d/201 tasks", counter.Load())
+	}
+}
+
+// TestExecutorAssistFindsNothingStatic: under the fully static policy
+// every task is owner-pinned, so a lending slot must see no work and
+// report it did nothing — the reason static jobs cannot be helped and
+// every job keeps at least one reserved driver.
+func TestExecutorAssistFindsNothingStatic(t *testing.T) {
+	var counter atomic.Int64
+	g := wideGraph(50, &counter)
+	e, err := NewExecutor(g, sched.NewStatic(), Options{Workers: 1, Helpers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if did := e.Assist(1); did {
+		t.Fatal("helper popped an owner-pinned task from a static policy")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.Drive(0)
+	}()
+	wg.Wait()
+	if _, err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Load() != 51 {
+		t.Fatalf("ran %d/51 tasks", counter.Load())
+	}
+}
+
+// TestExecutorLendHookFires: publishing shared work while every
+// reserved worker is busy must invoke the Lend callback, the signal
+// the engine turns into a floater wake-up.
+func TestExecutorLendHookFires(t *testing.T) {
+	var counter atomic.Int64
+	var lends atomic.Int64
+	g := wideGraph(100, &counter)
+	e, err := NewExecutor(g, sched.NewDynamic(), Options{
+		Workers: 1, Helpers: 1,
+		Lend: func() { lends.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single reserved driver: when the root fans out 100 shared tasks,
+	// the driver itself is the publisher and nobody is parked, so the
+	// hook must fire.
+	e.Drive(0)
+	if _, err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if lends.Load() == 0 {
+		t.Fatal("Lend hook never fired despite shared publishes with all workers busy")
+	}
+}
+
+// TestExecutorWorkStealingHelpers: helpers on a work-stealing policy
+// push newly readied tasks onto their own deques; those deques are
+// stealable, so work a departing helper leaves behind must still
+// complete. Exercised by a deep fan-out/fan-in chain driven with
+// aggressive helper churn (run under -race).
+func TestExecutorWorkStealingHelpers(t *testing.T) {
+	var counter atomic.Int64
+	const layers, width = 20, 16
+	g := &dag.Graph{Name: "mesh", Workers: 2}
+	var prev []*dag.Task
+	id := int32(0)
+	for l := 0; l < layers; l++ {
+		var cur []*dag.Task
+		for w := 0; w < width; w++ {
+			t2 := &dag.Task{ID: id, Kind: dag.S, Owner: w % 2, Prio: int64(id)}
+			t2.Run = func() { counter.Add(1) }
+			for _, p := range prev {
+				p.Outs = append(p.Outs, id)
+				t2.NumDeps++
+			}
+			g.Tasks = append(g.Tasks, t2)
+			cur = append(cur, t2)
+			id++
+		}
+		prev = cur[:1] // next layer depends only on the first task
+	}
+	e, err := NewExecutor(g, sched.NewWorkStealing(3), Options{Workers: 2, Helpers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.Drive(w)
+		}(w)
+	}
+	for h := 0; h < 2; h++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for !e.Done() {
+				e.Assist(slot)
+			}
+		}(2 + h)
+	}
+	wg.Wait()
+	if _, err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Load() != int64(layers*width) {
+		t.Fatalf("ran %d/%d tasks", counter.Load(), layers*width)
+	}
+}

@@ -12,6 +12,14 @@
 // full hardware concurrency; rt is the correctness-bearing mode
 // (numerics verified end to end) and the mode the examples and the
 // tuning CLI run in.
+//
+// An execution is an Executor: a drivable object that resident workers
+// attach to (Drive for a run's own reserved workers, Assist for
+// lending slots borrowed by another job's idle workers) and detach
+// from, rather than a function that owns its goroutines. Run is the
+// one-shot convenience that spawns a goroutine per worker and waits —
+// the spawn-per-call mode the resident engine (internal/engine)
+// amortizes away.
 package rt
 
 import (
@@ -29,8 +37,27 @@ import (
 
 // Options configures a real execution.
 type Options struct {
-	// Workers is the goroutine count; must be >= 1.
+	// Workers is the reserved worker count; must be >= 1. Reserved
+	// workers drive the run to completion (they park when idle and are
+	// woken by readiness events).
 	Workers int
+	// Helpers is the number of extra lending slots beyond Workers. A
+	// helper slot is a worker identity a foreign worker may borrow to
+	// Assist the run: it pops only work the policy exposes to every
+	// worker (the shared dynamic heap, stealable deques) and detaches
+	// instead of parking when it finds none. The static distribution is
+	// built for Workers owners, so owner-pinned tasks never land on a
+	// helper slot and a departing helper strands no work.
+	Helpers int
+	// Lend, when non-nil, is called (from a worker, outside all locks)
+	// when a globally poppable task was published and every reserved
+	// worker was busy — the signal that the run could productively use
+	// an Assist. The engine uses it to wake pool floaters.
+	Lend func()
+	// ExternalWorkspace, when true, skips the per-run kernel workspace
+	// reservation: the caller (the resident engine) holds one
+	// pool-wide refcounted reservation for all its runs instead.
+	ExternalWorkspace bool
 	// Trace, when non-nil, receives one span per executed task.
 	Trace *trace.Trace
 	// Noise, when non-nil, is invoked after each task completion with
@@ -52,16 +79,27 @@ type Result struct {
 }
 
 // spinCount is how many failed dequeue attempts a worker tolerates
-// (yielding between attempts) before it parks. Spinning bridges the
-// common short gaps between task completions without paying the
-// park/unpark futex round trip; parking keeps long waits off the CPU.
+// (yielding between attempts) before it parks (reserved workers) or
+// detaches (helpers). Spinning bridges the common short gaps between
+// task completions without paying the park/unpark futex round trip;
+// parking keeps long waits off the CPU.
 const spinCount = 64
 
-// run is the shared state of one execution.
-type run struct {
-	g  *dag.Graph
-	cp sched.ConcurrentPolicy
-	n  int64
+// Executor is the shared state of one execution: a run workers attach
+// to and detach from. Local worker ids [0,Workers) are the reserved
+// slots (each must be driven by exactly one goroutine at a time, and
+// reserved drivers stay until the run completes); ids
+// [Workers,Workers+Helpers) are lending slots foreign workers borrow
+// transiently through Assist. The caller serializes ownership of each
+// slot; the Executor itself is safe for concurrent Drive/Assist calls
+// on distinct slots.
+type Executor struct {
+	g     *dag.Graph
+	cp    sched.ConcurrentPolicy
+	n     int64
+	slots int
+	opt   Options
+	start time.Time
 
 	// outstanding counts tasks that are ready or running. A completing
 	// worker increments it for each newly ready successor before
@@ -74,125 +112,286 @@ type run struct {
 	completed   atomic.Int64
 	failure     atomic.Pointer[error]
 
+	// attached counts workers currently inside Drive/Assist; Wait
+	// drains it to zero before touching policy counters or spans.
+	// Guarded by attachMu (attach/detach are per-worker-per-run, not
+	// per-task, so the lock is off the hot path); attachCond signals
+	// the drain.
+	attachMu   sync.Mutex
+	attachCond *sync.Cond
+	attached   int
+
 	wk waker
+
+	// Per-slot span buffers: workers never touch the shared Trace
+	// during the run, so the hot path has no shared-slice growth and no
+	// false sharing on neighbouring timelines.
+	spans [][]trace.Span
+
+	ws       *kernel.Reservation
+	doneOnce sync.Once
+	doneCh   chan struct{}
+	makespan time.Duration
+
+	waitOnce sync.Once
+	result   Result
+	waitErr  error
 }
 
-func (r *run) done() bool {
-	return r.failure.Load() != nil || r.completed.Load() == r.n
-}
-
-// fail records the first error and releases every parked worker.
-func (r *run) fail(err error) {
-	r.failure.CompareAndSwap(nil, &err)
-	r.wk.wakeAll()
-}
-
-// Run executes g to completion under the given policy and returns the
-// wall-clock makespan. A structurally stuck graph (a bug in the DAG
-// builder) is reported as an error, as is a panicking task.
-func Run(g *dag.Graph, pol sched.Policy, opt Options) (Result, error) {
+// NewExecutor prepares an execution of g under the given policy. The
+// graph's dependency counters are armed and the roots are seeded; the
+// run starts making progress as soon as the first worker attaches. A
+// structurally stuck graph (a bug in the DAG builder) is reported
+// here.
+func NewExecutor(g *dag.Graph, pol sched.Policy, opt Options) (*Executor, error) {
 	if opt.Workers < 1 {
-		return Result{}, fmt.Errorf("rt: need at least one worker, got %d", opt.Workers)
+		return nil, fmt.Errorf("rt: need at least one worker, got %d", opt.Workers)
 	}
-	n := len(g.Tasks)
-	if n == 0 {
-		return Result{}, nil
+	if opt.Helpers < 0 {
+		opt.Helpers = 0
 	}
-	// Reserve one packed-GEMM workspace per worker so no task pays the
+	e := &Executor{
+		g:      g,
+		n:      int64(len(g.Tasks)),
+		slots:  opt.Workers + opt.Helpers,
+		opt:    opt,
+		doneCh: make(chan struct{}),
+	}
+	e.attachCond = sync.NewCond(&e.attachMu)
+	if e.n == 0 {
+		close(e.doneCh)
+		return e, nil
+	}
+	// Reserve one packed-GEMM workspace per slot so no task pays the
 	// pack-buffer allocation mid-factorization (workers call kernels
-	// concurrently). The buffers live on a process-wide free list, so
-	// this is a one-time, bounded warm-up — graphs without kernel
-	// tasks share the same buffers on their next factorization run.
-	kernel.Reserve(opt.Workers)
-
-	var cp sched.ConcurrentPolicy
-	if opt.GlobalLock {
-		cp = sched.NewLocked(pol)
-	} else {
-		cp = sched.Concurrent(pol)
+	// concurrently). Reservations are refcounted across overlapping
+	// runs; the engine instead holds one pool-wide reservation and sets
+	// ExternalWorkspace.
+	if !opt.ExternalWorkspace {
+		e.ws = kernel.Reserve(e.slots)
 	}
-	cp.Reset(g, opt.Workers)
+	if opt.GlobalLock {
+		e.cp = sched.NewLocked(pol)
+	} else {
+		e.cp = sched.Concurrent(pol)
+	}
+	e.cp.Reset(g, e.slots)
 
 	roots := g.ResetDeps()
 	if len(roots) == 0 {
-		return Result{}, fmt.Errorf("rt: graph %q stuck with 0/%d tasks done", g.Name, n)
+		e.ws.Release()
+		return nil, fmt.Errorf("rt: graph %q stuck with 0/%d tasks done", g.Name, e.n)
 	}
-	r := &run{g: g, cp: cp, n: int64(n)}
-	r.wk.init(opt.Workers)
-	r.outstanding.Store(int64(len(roots)))
+	e.wk.init(e.slots)
+	e.outstanding.Store(int64(len(roots)))
 	for _, t := range roots {
-		cp.Ready(sched.SeedWorker, t)
+		e.cp.Ready(sched.SeedWorker, t)
 	}
-
-	// Per-worker span buffers: workers never touch the shared Trace
-	// during the run, so the hot path has no shared-slice growth and no
-	// false sharing on neighbouring timelines.
-	var spans [][]trace.Span
 	if opt.Trace != nil {
-		spans = make([][]trace.Span, opt.Workers)
+		e.spans = make([][]trace.Span, e.slots)
 	}
+	e.start = time.Now()
+	return e, nil
+}
 
-	start := time.Now()
+func (e *Executor) done() bool {
+	return e.failure.Load() != nil || e.completed.Load() == e.n
+}
+
+// Done reports whether the run has completed (successfully or not).
+func (e *Executor) Done() bool {
+	select {
+	case <-e.doneCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// finish records the end of the run exactly once and releases every
+// parked worker.
+func (e *Executor) finish() {
+	e.doneOnce.Do(func() {
+		e.makespan = time.Since(e.start)
+		close(e.doneCh)
+	})
+	e.wk.wakeAll()
+}
+
+// fail records the first error and ends the run.
+func (e *Executor) fail(err error) {
+	e.failure.CompareAndSwap(nil, &err)
+	e.finish()
+}
+
+// Drive attaches the calling goroutine as reserved worker w and runs
+// the dispatch loop until the run completes. Exactly one goroutine may
+// drive each reserved slot.
+func (e *Executor) Drive(w int) {
+	if e.n == 0 || !e.attach() {
+		return
+	}
+	local, _ := e.loop(w, true, e.takeSpans(w))
+	e.putSpans(w, local)
+	e.detach()
+}
+
+// Assist attaches the calling goroutine on lending slot `slot`
+// (in [Workers, Workers+Helpers)) and executes globally poppable work
+// until none is visible, then detaches. It reports whether it executed
+// at least one task. Slot ownership must be serialized by the caller;
+// a slot may be re-borrowed after Assist returns.
+func (e *Executor) Assist(slot int) bool {
+	if e.n == 0 || !e.attach() {
+		return false
+	}
+	local, did := e.loop(slot, false, e.takeSpans(slot))
+	e.putSpans(slot, local)
+	e.detach()
+	return did
+}
+
+// attach registers the caller in `attached`, or reports false if the
+// run is already over. The done check happens under attachMu, the same
+// lock Wait's drain holds: a late attacher either sees done here (and
+// backs out without touching the span buffers Wait is about to read)
+// or is counted before the drain reads zero and holds it open until
+// detach — span buffers are never touched concurrently with Wait.
+func (e *Executor) attach() bool {
+	e.attachMu.Lock()
+	defer e.attachMu.Unlock()
+	if e.Done() {
+		return false
+	}
+	e.attached++
+	return true
+}
+
+func (e *Executor) detach() {
+	e.attachMu.Lock()
+	e.attached--
+	if e.attached == 0 {
+		e.attachCond.Broadcast()
+	}
+	e.attachMu.Unlock()
+}
+
+func (e *Executor) takeSpans(w int) []trace.Span {
+	if e.spans == nil {
+		return nil
+	}
+	return e.spans[w]
+}
+
+func (e *Executor) putSpans(w int, s []trace.Span) {
+	if e.spans != nil {
+		e.spans[w] = s
+	}
+}
+
+// Wait blocks until the run completes, drains all attached workers,
+// and returns the merged result. The one-shot Run calls it after
+// spawning its drivers; the engine calls it from the worker that
+// observes completion first.
+func (e *Executor) Wait() (Result, error) {
+	<-e.doneCh
+	// Counters and spans must not be read while a worker is still
+	// inside Next/Ready; block until the attached count drains (parked
+	// workers were woken by finish, helpers detach on their next done
+	// check, workers mid-task finish that task first).
+	e.attachMu.Lock()
+	for e.attached != 0 {
+		e.attachCond.Wait()
+	}
+	e.attachMu.Unlock()
+	e.waitOnce.Do(func() {
+		e.ws.Release()
+		if e.n == 0 {
+			return
+		}
+		if e.opt.Trace != nil {
+			for w, s := range e.spans {
+				if len(s) == 0 {
+					continue
+				}
+				// Lending slots lie beyond the worker count the caller
+				// sized the trace for; grow it so their spans land on
+				// their own timelines.
+				e.opt.Trace.EnsureWorkers(w + 1)
+				e.opt.Trace.Merge(w, s)
+			}
+		}
+		if errp := e.failure.Load(); errp != nil {
+			e.waitErr = *errp
+			return
+		}
+		e.result = Result{Makespan: e.makespan, Counters: e.cp.Counters()}
+	})
+	return e.result, e.waitErr
+}
+
+// Run executes g to completion under the given policy and returns the
+// wall-clock makespan: the one-shot mode that spawns a goroutine per
+// worker and tears everything down afterwards. A structurally stuck
+// graph is reported as an error, as is a panicking task.
+func Run(g *dag.Graph, pol sched.Policy, opt Options) (Result, error) {
+	opt.Helpers = 0
+	e, err := NewExecutor(g, pol, opt)
+	if err != nil {
+		return Result{}, err
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < opt.Workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			local := r.worker(worker, start, opt)
-			if spans != nil {
-				spans[worker] = local
-			}
+			e.Drive(worker)
 		}(w)
 	}
 	wg.Wait()
-	if opt.Trace != nil {
-		for w, s := range spans {
-			opt.Trace.Merge(w, s)
-		}
-	}
-	if errp := r.failure.Load(); errp != nil {
-		return Result{}, *errp
-	}
-	return Result{Makespan: time.Since(start), Counters: cp.Counters()}, nil
+	return e.Wait()
 }
 
-// worker is one dispatch loop. It returns its locally buffered trace
-// spans (nil when tracing is off).
-func (r *run) worker(w int, start time.Time, opt Options) []trace.Span {
-	var local []trace.Span
+// loop is one dispatch loop on slot w. park selects the idle behaviour:
+// reserved workers park and stay until the run is over, helpers return
+// as soon as no work is visible to them. It returns the slot's locally
+// buffered trace spans and whether it executed at least one task.
+func (e *Executor) loop(w int, park bool, local []trace.Span) ([]trace.Span, bool) {
+	did := false
 	scratch := make([]*dag.Task, 0, 8)
 	for {
-		t := r.next(w)
+		t := e.next(w, park)
 		if t == nil {
-			return local
+			return local, did
 		}
+		did = true
 		// The hot loop only reads the clock when someone consumes the
 		// timestamps; on a no-op task graph two time.Since calls would
 		// otherwise dominate the dispatch cost BenchmarkDispatch exists
 		// to measure.
 		var t0 float64
-		if opt.Trace != nil {
-			t0 = time.Since(start).Seconds()
+		if e.opt.Trace != nil {
+			t0 = time.Since(e.start).Seconds()
 		}
 		if t.Run != nil {
 			if err := runTask(t); err != nil {
-				r.fail(err)
-				return local
+				e.fail(err)
+				return local, did
 			}
 		}
 		var t1 float64
-		if opt.Trace != nil {
-			t1 = time.Since(start).Seconds()
+		if e.opt.Trace != nil {
+			t1 = time.Since(e.start).Seconds()
 			local = append(local, trace.Span{
 				TaskID: t.ID, Label: trace.KindLabel(t.Kind.String()), Start: t0, End: t1,
 			})
 		}
-		if opt.Noise != nil {
-			if d := opt.Noise(w); d > 0 {
+		if e.opt.Noise != nil {
+			if d := e.opt.Noise(w); d > 0 {
 				spinFor(d)
-				if opt.Trace != nil {
+				if e.opt.Trace != nil {
 					local = append(local, trace.Span{
-						TaskID: -1, Label: 'N', Start: t1, End: time.Since(start).Seconds(),
+						TaskID: -1, Label: 'N', Start: t1, End: time.Since(e.start).Seconds(),
 					})
 				}
 			}
@@ -202,49 +401,55 @@ func (r *run) worker(w int, start time.Time, opt Options) []trace.Span {
 		// newly ready ones before giving up this task's own claim on
 		// `outstanding` (see the field comment for why this order makes
 		// the stuck check sound).
-		scratch = r.g.ResolveSuccessors(t, scratch[:0])
+		scratch = e.g.ResolveSuccessors(t, scratch[:0])
 		if len(scratch) > 0 {
-			r.outstanding.Add(int64(len(scratch)))
+			e.outstanding.Add(int64(len(scratch)))
 			for _, s := range scratch {
-				switch hint := r.cp.Ready(w, s); hint {
+				switch hint := e.cp.Ready(w, s); hint {
 				case sched.AnyWorker:
-					r.wk.wakeAny(w)
+					if !e.wk.wakeAny(w) && e.opt.Lend != nil {
+						// Every reserved worker is busy and a globally
+						// poppable task just appeared: ask the owner of
+						// this executor for a lending worker.
+						e.opt.Lend()
+					}
 				case sched.AllWorkers:
-					r.wk.wakeAll()
+					e.wk.wakeAll()
 				default:
-					r.wk.wakeOwner(hint, w)
+					e.wk.wakeOwner(hint, w)
 				}
 			}
 		}
-		done := r.completed.Add(1)
-		left := r.outstanding.Add(-1)
-		if done == r.n {
-			r.wk.wakeAll()
-			return local
+		done := e.completed.Add(1)
+		left := e.outstanding.Add(-1)
+		if done == e.n {
+			e.finish()
+			return local, did
 		}
 		if left == 0 {
 			// outstanding hit zero: nothing is queued or in flight
 			// anywhere, so `completed` is final — but our own `done`
 			// snapshot may predate other workers' final increments, so
 			// re-read it before declaring the graph stuck.
-			if final := r.completed.Load(); final != r.n {
-				r.fail(fmt.Errorf("rt: graph %q stuck with %d/%d tasks done", r.g.Name, final, r.n))
+			if final := e.completed.Load(); final != e.n {
+				e.fail(fmt.Errorf("rt: graph %q stuck with %d/%d tasks done", e.g.Name, final, e.n))
 			}
-			return local
+			return local, did
 		}
 	}
 }
 
-// next returns the worker's next task, spinning briefly and then
-// parking while the queues are empty. It returns nil when the run is
-// over (all tasks completed, or a failure was recorded).
-func (r *run) next(w int) *dag.Task {
+// next returns the slot's next task, spinning briefly and then parking
+// (reserved workers) or giving up (helpers) while the queues are
+// empty. It returns nil when the run is over or, for helpers, when no
+// work is visible to this slot.
+func (e *Executor) next(w int, park bool) *dag.Task {
 	spins := 0
 	for {
-		if r.done() {
+		if e.done() {
 			return nil
 		}
-		if t := r.cp.Next(w); t != nil {
+		if t := e.cp.Next(w); t != nil {
 			return t
 		}
 		if spins < spinCount {
@@ -252,20 +457,23 @@ func (r *run) next(w int) *dag.Task {
 			runtime.Gosched()
 			continue
 		}
+		if !park {
+			return nil
+		}
 		// Publish the parked flag, then re-check: a waker publishes its
 		// task before scanning the flags, so either it sees us parked
 		// and deposits a permit, or this re-check sees its task — a
 		// wake between our failed Next and the park cannot be lost.
-		r.wk.prepare(w)
-		if r.done() {
-			r.wk.cancel(w)
+		e.wk.prepare(w)
+		if e.done() {
+			e.wk.cancel(w)
 			return nil
 		}
-		if t := r.cp.Next(w); t != nil {
-			r.wk.cancel(w)
+		if t := e.cp.Next(w); t != nil {
+			e.wk.cancel(w)
 			return t
 		}
-		r.wk.park(w)
+		e.wk.park(w)
 		spins = 0
 	}
 }

@@ -39,6 +39,18 @@ func (tr *Trace) Add(w int, id int32, label byte, start, end float64) {
 	tr.Spans[w] = append(tr.Spans[w], Span{TaskID: id, Label: label, Start: start, End: end})
 }
 
+// EnsureWorkers grows the trace to at least n timelines. The runtime
+// calls it before merging spans recorded on lending slots — borrowed
+// worker identities beyond the reserved count the trace was sized
+// for — so cross-job lending shows up as extra timelines instead of
+// an out-of-range panic.
+func (tr *Trace) EnsureWorkers(n int) {
+	for tr.Workers < n {
+		tr.Spans = append(tr.Spans, nil)
+		tr.Workers++
+	}
+}
+
 // Merge appends a batch of spans to worker w's timeline. The concurrent
 // runtime buffers spans in worker-local slices during the run and
 // merges each worker's batch once at the end, keeping the hot dispatch

@@ -22,8 +22,19 @@
 //	})
 //	x, err := f.Solve(b)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record.
+// For many small-to-medium factorizations, prefer the resident engine,
+// which amortizes worker and workspace setup across jobs and applies
+// the hybrid static/dynamic split a second time — across competing
+// jobs:
+//
+//	eng, err := repro.NewEngine(repro.EngineOptions{Workers: 8, DynamicRatio: 0.25})
+//	defer eng.Close()
+//	job, err := eng.SubmitFactor(a, repro.Options{Workers: 2})
+//	err = job.Wait()
+//	f := job.Factorization()
+//
+// See DESIGN.md for the system inventory; README.md and CHANGES.md
+// carry the measured-performance record.
 package repro
 
 import (
@@ -31,6 +42,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/layout"
 	"repro/internal/mat"
@@ -154,3 +166,34 @@ func CholeskyResidual(a *Matrix, f *CholeskyFactorization) float64 {
 // RandomSPD returns a random symmetric positive definite matrix for
 // Cholesky workloads.
 func RandomSPD(n int, seed int64) *Matrix { return core.RandomSPD(n, seed) }
+
+// Engine is the resident factorization service: one long-lived worker
+// pool executing many Factor/Solve jobs concurrently, with the paper's
+// hybrid static/dynamic split applied across jobs (each job gets a
+// static reservation of workers; the pool's dynamic share lends itself
+// to whichever job has spare parallel work). Create with NewEngine,
+// feed with SubmitFactor/SubmitSolve, Close when done.
+type Engine = engine.Engine
+
+// EngineOptions configures NewEngine: pool size, admission bound and
+// the inter-job DynamicRatio (0 = fully static partitioning, 1 = fully
+// dynamic lending).
+type EngineOptions = engine.Options
+
+// EngineJob is the handle of one submitted engine job; Wait for
+// completion, then read Factorization or Solution.
+type EngineJob = engine.Job
+
+// EngineStats is a point-in-time snapshot of an engine's pool and job
+// counters.
+type EngineStats = engine.Stats
+
+// Engine submission errors.
+var (
+	ErrEngineClosed    = engine.ErrClosed
+	ErrEngineSaturated = engine.ErrSaturated
+)
+
+// NewEngine starts a resident engine; its workers and kernel
+// workspaces live until Close.
+func NewEngine(opt EngineOptions) (*Engine, error) { return engine.New(opt) }

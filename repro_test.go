@@ -30,6 +30,48 @@ func TestPublicFactorAndSolve(t *testing.T) {
 	}
 }
 
+func TestPublicEngine(t *testing.T) {
+	eng, err := NewEngine(EngineOptions{Workers: 2, MaxInflight: 4, DynamicRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	a := RandomMatrix(128, 128, 9)
+	job, err := eng.SubmitFactor(a, Options{
+		Block: 32, Workers: 2, Scheduler: ScheduleHybrid, DynamicRatio: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if job.Granted() < 1 {
+		t.Fatalf("granted %d workers", job.Granted())
+	}
+	f := job.Factorization()
+	if r := Residual(a, f); r > 1e-10 {
+		t.Fatalf("residual %g", r)
+	}
+	b := make([]float64, 128)
+	for i := range b {
+		b[i] = float64(i % 7)
+	}
+	sj, err := eng.SubmitSolve(f, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sj.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if r := SolveResidual(a, sj.Solution(), b); r > 1e-10 {
+		t.Fatalf("solve residual %g", r)
+	}
+	if st := eng.Stats(); st.JobsDone != 2 || st.JobsFailed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
 func TestPublicBaselines(t *testing.T) {
 	a := RandomMatrix(160, 160, 6)
 	g, err := FactorGEPP(a, GEPPOptions{Block: 32, Workers: 2})
