@@ -9,6 +9,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -304,6 +305,31 @@ func BenchmarkKernelTrsmLowerNaive256(b *testing.B) {
 	benchTrsmLower(b, 256, kernel.TrsmLowerLeftUnitNaive)
 }
 
+// benchTrsmDiag benchmarks the left-side solve-DAG diagonal kernels,
+// whose triangle needs a safely nonzero diagonal.
+func benchTrsmDiag(b *testing.B, n int, trsm func(t, x kernel.View)) {
+	b.Helper()
+	l := RandomMatrix(n, n, 4)
+	for i := 0; i < n; i++ {
+		l.Set(i, i, 2+l.At(i, i))
+	}
+	x := RandomMatrix(n, n, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trsm(viewOf(l), viewOf(x))
+	}
+	b.ReportMetric(float64(n)*float64(n)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkKernelTrsmLowerNonUnit256(b *testing.B) { benchTrsmDiag(b, 256, kernel.TrsmLowerLeft) }
+func BenchmarkKernelTrsmLowerNonUnitNaive256(b *testing.B) {
+	benchTrsmDiag(b, 256, kernel.TrsmLowerLeftNaive)
+}
+func BenchmarkKernelTrsmUpper256(b *testing.B) { benchTrsmDiag(b, 256, kernel.TrsmUpperLeft) }
+func BenchmarkKernelTrsmUpperNaive256(b *testing.B) {
+	benchTrsmDiag(b, 256, kernel.TrsmUpperLeftNaive)
+}
+
 func BenchmarkKernelRecursiveLU(b *testing.B) {
 	src := RandomMatrix(512, 128, 6)
 	piv := make([]int, 128)
@@ -545,6 +571,141 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			reportLatencies(b, lat)
 		})
 	}
+}
+
+// ---------------------------------------------------------------------
+// Triangular solve: the blocked multi-RHS solve graph versus the
+// scalar substitution baseline it replaced, at n=2048 with 32
+// right-hand sides — the before/after pair that quantifies the solve
+// subsystem (packed-GEMM updates + task parallelism vs per-element
+// scalar loops).
+
+var (
+	solveBenchOnce sync.Once
+	solveBenchA    *mat.Dense
+	solveBenchB    *mat.Dense
+	solveBenchF    *core.Factorization
+)
+
+const (
+	solveBenchN    = 2048
+	solveBenchNRHS = 32
+)
+
+// solveBenchSetup factors the shared benchmark system once; both solve
+// benchmarks (and the engine solve bench) reuse it so the O(n³) factor
+// cost is paid a single time per `go test -bench` run.
+func solveBenchSetup(b *testing.B) *core.Factorization {
+	b.Helper()
+	solveBenchOnce.Do(func() {
+		solveBenchA = RandomMatrix(solveBenchN, solveBenchN, 31)
+		solveBenchB = RandomMatrix(solveBenchN, solveBenchNRHS, 33)
+		f, err := core.Factor(solveBenchA, core.Options{
+			Block: 128, Workers: benchWorkers(),
+			Scheduler: core.ScheduleHybrid, DynamicRatio: 0.1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		solveBenchF = f
+	})
+	return solveBenchF
+}
+
+func benchWorkers() int {
+	w := runtime.NumCPU()
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+func solveFlops() float64 {
+	// Forward + backward sweep: ~2 * (2 n² nrhs) flops.
+	return 4 * float64(solveBenchN) * float64(solveBenchN) * float64(solveBenchNRHS)
+}
+
+// BenchmarkSolveScalar is the seed path: one scalar substitution per
+// right-hand side.
+func BenchmarkSolveScalar(b *testing.B) {
+	f := solveBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < solveBenchNRHS; j++ {
+			if _, err := f.Solve(solveBenchB.Col(j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(solveFlops()*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+// BenchmarkSolveBlocked is the blocked two-sweep solve graph on the
+// same system: diagonal TRSM tasks plus packed-GEMM updates over the
+// whole RHS block, scheduled across workers.
+func BenchmarkSolveBlocked(b *testing.B) {
+	f := solveBenchSetup(b)
+	opt := core.Options{
+		Block: 128, Workers: benchWorkers(),
+		Scheduler: core.ScheduleHybrid, DynamicRatio: 0.1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.SolveMany(solveBenchB, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(solveFlops()*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+// BenchmarkEngineSolveThroughput pushes batches of concurrent multi-RHS
+// solve jobs through the resident pool — the solve-heavy service
+// workload the solve DAG exists for — and reports jobs/s with
+// submit-to-done latency percentiles.
+func BenchmarkEngineSolveThroughput(b *testing.B) {
+	const n, nrhs, batchJobs = 512, 8, 16
+	a := RandomMatrix(n, n, 51)
+	f, err := core.Factor(a, core.Options{Block: 64, Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]*mat.Dense, batchJobs)
+	for i := range rhs {
+		rhs[i] = RandomMatrix(n, nrhs, int64(60+i))
+	}
+	eng, err := engine.New(engine.Options{Workers: 4, MaxInflight: 8, DynamicRatio: 0.25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	opt := core.Options{Block: 64, Workers: 2, Scheduler: core.ScheduleHybrid, DynamicRatio: 0.1}
+	var mu sync.Mutex
+	var lat []time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, bm := range rhs {
+			start := time.Now()
+			j, err := eng.SubmitSolveMany(f, bm, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := j.Wait(); err != nil {
+					b.Error(err)
+					return
+				}
+				mu.Lock()
+				lat = append(lat, time.Since(start))
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	reportLatencies(b, lat)
 }
 
 // ---------------------------------------------------------------------

@@ -2,7 +2,9 @@
 // HTTP/JSON: one long-lived worker pool serving concurrent Factor and
 // Solve requests with the two-level hybrid static/dynamic scheduling
 // of internal/engine (static per-job worker reservations, dynamic
-// lending across jobs).
+// lending across jobs). Solves execute as blocked triangular-solve
+// task graphs at the job's granted share, so big and multi-RHS solves
+// parallelize like factorizations.
 //
 //	hsdserve -addr :8080 -pool 8 -dratio 0.25 -maxinflight 32
 //
@@ -11,22 +13,36 @@
 //
 //	curl -s localhost:8080/v1/factor -d '{"n":512,"seed":7,"workers":2}'
 //
-// Factor a caller-supplied matrix (row-major flat array) and solve:
+// Factor a caller-supplied matrix (row-major flat array) and solve,
+// single or many right-hand sides (column-major flat, nrhs columns):
 //
 //	curl -s localhost:8080/v1/factor \
 //	    -d '{"rows":2,"cols":2,"data":[4,3,6,3],"residual":true}'
 //	curl -s localhost:8080/v1/solve -d '{"id":"f-1","b":[10,12]}'
+//	curl -s localhost:8080/v1/solve \
+//	    -d '{"id":"f-1","b":[10,12,4,3],"nrhs":2,"workers":2}'
+//
+// Cholesky jobs ride the same pool (n/seed generates a random SPD test
+// matrix; data must be SPD, lower triangle read):
+//
+//	curl -s localhost:8080/v1/cholesky -d '{"n":512,"seed":7,"workers":2}'
+//	curl -s localhost:8080/v1/cholesky/solve -d '{"id":"c-1","b":[...]}'
 //	curl -s localhost:8080/v1/stats
 //
-// Saturation (admission queue at -maxinflight) returns 503 so load
-// balancers can back off; factorizations are kept for -keep solves
-// and evicted FIFO.
+// Mutating endpoints are POST-only (405 otherwise) and reject bodies
+// with trailing data after the JSON value (400). Saturation (admission
+// queue at -maxinflight) returns 503 so load balancers can back off;
+// a solve against a degraded factorization returns 422 with the
+// solvable prefix. Factorizations are kept for -keep solves and
+// evicted FIFO.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -41,6 +57,29 @@ import (
 // stop well before a streaming client can grow memory without bound).
 const maxBody = 256 << 20
 
+// stored is one resident factorization: exactly one of lu/chol is set.
+type stored struct {
+	lu   *repro.Factorization
+	chol *repro.CholeskyFactorization
+}
+
+// n returns the order of the stored system.
+func (st stored) n() int {
+	if st.lu != nil {
+		return st.lu.L.Rows
+	}
+	return st.chol.L.Rows
+}
+
+// solvable returns the factorization behind the engine's Solvable
+// interface.
+func (st stored) solvable() repro.Solvable {
+	if st.lu != nil {
+		return st.lu
+	}
+	return st.chol
+}
+
 // server wires the engine to the HTTP mux and owns the factorization
 // store.
 type server struct {
@@ -50,7 +89,7 @@ type server struct {
 	next  int
 	keep  int
 	order []string
-	facs  map[string]*repro.Factorization
+	facs  map[string]stored
 }
 
 type factorRequest struct {
@@ -80,8 +119,45 @@ type factorReply struct {
 }
 
 type solveRequest struct {
-	ID string    `json:"id"`
-	B  []float64 `json:"b"`
+	ID string `json:"id"`
+	// B is the right-hand side: n entries for one system, n*nrhs
+	// entries (column-major) when NRHS > 1.
+	B    []float64 `json:"b"`
+	NRHS int       `json:"nrhs"`
+
+	Block        int     `json:"block"`
+	Workers      int     `json:"workers"`
+	Scheduler    string  `json:"scheduler"`
+	DynamicRatio float64 `json:"dynamicRatio"`
+}
+
+type solveReply struct {
+	ID string `json:"id"`
+	// X is the solution, column-major n x nrhs.
+	X           []float64 `json:"x"`
+	NRHS        int       `json:"nrhs"`
+	Granted     int       `json:"granted"`
+	QueueWaitMs float64   `json:"queueWaitMs"`
+	SpanMs      float64   `json:"spanMs"`
+}
+
+func schedulerOptions(name string, opt *repro.Options) error {
+	switch strings.ToLower(name) {
+	case "", "hybrid":
+		opt.Scheduler = repro.ScheduleHybrid
+		if opt.DynamicRatio == 0 {
+			opt.DynamicRatio = 0.1
+		}
+	case "static":
+		opt.Scheduler = repro.ScheduleStatic
+	case "dynamic":
+		opt.Scheduler = repro.ScheduleDynamic
+	case "worksteal":
+		opt.Scheduler = repro.ScheduleWorkStealing
+	default:
+		return fmt.Errorf("unknown scheduler %q", name)
+	}
+	return nil
 }
 
 func (s *server) options(req *factorRequest) (repro.Options, error) {
@@ -101,25 +177,15 @@ func (s *server) options(req *factorRequest) (repro.Options, error) {
 	default:
 		return opt, fmt.Errorf("unknown layout %q", req.Layout)
 	}
-	switch strings.ToLower(req.Scheduler) {
-	case "", "hybrid":
-		opt.Scheduler = repro.ScheduleHybrid
-		if opt.DynamicRatio == 0 {
-			opt.DynamicRatio = 0.1
-		}
-	case "static":
-		opt.Scheduler = repro.ScheduleStatic
-	case "dynamic":
-		opt.Scheduler = repro.ScheduleDynamic
-	case "worksteal":
-		opt.Scheduler = repro.ScheduleWorkStealing
-	default:
-		return opt, fmt.Errorf("unknown scheduler %q", req.Scheduler)
+	if err := schedulerOptions(req.Scheduler, &opt); err != nil {
+		return opt, err
 	}
 	return opt, nil
 }
 
-func (s *server) matrix(req *factorRequest) (*repro.Matrix, error) {
+// matrix materializes the request's input matrix. spd selects the
+// generated-matrix flavour for /v1/cholesky.
+func (s *server) matrix(req *factorRequest, spd bool) (*repro.Matrix, error) {
 	if len(req.Data) > 0 {
 		if req.Rows <= 0 || req.Cols <= 0 || len(req.Data) != req.Rows*req.Cols {
 			return nil, fmt.Errorf("data needs rows*cols = %d*%d entries, got %d",
@@ -136,15 +202,18 @@ func (s *server) matrix(req *factorRequest) (*repro.Matrix, error) {
 	if req.N <= 0 {
 		return nil, fmt.Errorf("need either n > 0 or rows/cols/data")
 	}
+	if spd {
+		return repro.RandomSPD(req.N, req.Seed), nil
+	}
 	return repro.RandomMatrix(req.N, req.N, req.Seed), nil
 }
 
-func (s *server) store(f *repro.Factorization) string {
+func (s *server) store(prefix string, st stored) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.next++
-	id := fmt.Sprintf("f-%d", s.next)
-	s.facs[id] = f
+	id := fmt.Sprintf("%s-%d", prefix, s.next)
+	s.facs[id] = st
 	s.order = append(s.order, id)
 	for len(s.order) > s.keep {
 		delete(s.facs, s.order[0])
@@ -153,10 +222,11 @@ func (s *server) store(f *repro.Factorization) string {
 	return id
 }
 
-func (s *server) lookup(id string) *repro.Factorization {
+func (s *server) lookup(id string) (stored, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.facs[id]
+	st, ok := s.facs[id]
+	return st, ok
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -170,10 +240,45 @@ func reply(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func (s *server) handleFactor(w http.ResponseWriter, r *http.Request) {
-	var req factorRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+// decodePost guards a mutating endpoint: POST only (405 otherwise) and
+// exactly one JSON value in the body — trailing garbage after the
+// value (a second JSON document, stray bytes) is a malformed request,
+// not something to silently ignore.
+func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed, use POST", r.Method)
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	if err := dec.Decode(v); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return false
+	}
+	// Token (not More) is the complete trailing check: More reports
+	// false for a stray closing bracket, while Token returns io.EOF
+	// only when nothing but whitespace follows the value.
+	if _, err := dec.Token(); err != io.EOF {
+		httpError(w, http.StatusBadRequest, "bad request: trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// submitError maps an engine submission error to an HTTP reply.
+func submitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, repro.ErrEngineSaturated) {
+		httpError(w, http.StatusServiceUnavailable, "engine saturated, retry later")
+		return
+	}
+	httpError(w, http.StatusBadRequest, "%v", err)
+}
+
+// handleFactor serves /v1/factor (chol=false) and /v1/cholesky
+// (chol=true).
+func (s *server) handleFactor(w http.ResponseWriter, r *http.Request, chol bool) {
+	var req factorRequest
+	if !decodePost(w, r, &req) {
 		return
 	}
 	opt, err := s.options(&req)
@@ -181,66 +286,126 @@ func (s *server) handleFactor(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	a, err := s.matrix(&req)
+	a, err := s.matrix(&req, chol)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	job, err := s.eng.TrySubmitFactor(a, opt)
-	switch {
-	case err == repro.ErrEngineSaturated:
-		httpError(w, http.StatusServiceUnavailable, "engine saturated, retry later")
-		return
-	case err != nil:
-		httpError(w, http.StatusBadRequest, "%v", err)
+	var job *repro.EngineJob
+	if chol {
+		job, err = s.eng.TrySubmitCholeskyFactor(a, opt)
+	} else {
+		job, err = s.eng.TrySubmitFactor(a, opt)
+	}
+	if err != nil {
+		submitError(w, err)
 		return
 	}
 	if err := job.Wait(); err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "factorization failed: %v", err)
 		return
 	}
-	f := job.Factorization()
+	var st stored
+	var id string
+	var res float64
+	if chol {
+		st = stored{chol: job.CholeskyFactorization()}
+		id = s.store("c", st)
+		if req.Residual {
+			res = repro.CholeskyResidual(a, st.chol)
+		}
+	} else {
+		st = stored{lu: job.Factorization()}
+		id = s.store("f", st)
+		if req.Residual {
+			res = repro.Residual(a, st.lu)
+		}
+	}
 	rep := factorReply{
-		ID:          s.store(f),
+		ID:          id,
 		Granted:     job.Granted(),
 		QueueWaitMs: job.QueueWait().Seconds() * 1e3,
 		SpanMs:      job.Span().Seconds() * 1e3,
 	}
 	if req.Residual {
-		r := repro.Residual(a, f)
-		rep.Residual = &r
+		rep.Residual = &res
 	}
 	reply(w, rep)
 }
 
-func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+// handleSolve serves /v1/solve (any stored id) and /v1/cholesky/solve
+// (cholesky ids only).
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request, wantChol bool) {
 	var req solveRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+	if !decodePost(w, r, &req) {
 		return
 	}
-	f := s.lookup(req.ID)
-	if f == nil {
+	st, ok := s.lookup(req.ID)
+	if !ok {
 		httpError(w, http.StatusNotFound, "no factorization %q (evicted or never existed)", req.ID)
 		return
 	}
-	job, err := s.eng.TrySubmitSolve(f, req.B)
-	switch {
-	case err == repro.ErrEngineSaturated:
-		httpError(w, http.StatusServiceUnavailable, "engine saturated, retry later")
+	if wantChol && st.chol == nil {
+		httpError(w, http.StatusBadRequest, "%q is not a cholesky factorization", req.ID)
 		return
-	case err != nil:
+	}
+	n := st.n()
+	nrhs := req.NRHS
+	if nrhs <= 0 {
+		nrhs = 1
+	}
+	// nrhs > len(B) is always invalid (n >= 1) and, checked first, keeps
+	// the n*nrhs product far from integer overflow for any body that
+	// fits the request size cap.
+	if nrhs > len(req.B) || len(req.B) != n*nrhs {
+		httpError(w, http.StatusBadRequest, "rhs needs n*nrhs = %d*%d entries, got %d", n, nrhs, len(req.B))
+		return
+	}
+	opt := repro.Options{Block: req.Block, Workers: req.Workers, DynamicRatio: req.DynamicRatio}
+	if err := schedulerOptions(req.Scheduler, &opt); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	bm := repro.NewMatrix(n, nrhs)
+	copy(bm.Data, req.B)
+	job, err := s.eng.TrySubmitSolveMany(st.solvable(), bm, opt)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
 	if err := job.Wait(); err != nil {
+		var se *repro.SingularSolveError
+		if errors.As(err, &se) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error":          err.Error(),
+				"solvablePrefix": se.Prefix,
+				"n":              se.N,
+				"degradedSystem": true,
+			})
+			return
+		}
 		httpError(w, http.StatusUnprocessableEntity, "solve failed: %v", err)
 		return
 	}
-	reply(w, map[string]any{"id": req.ID, "x": job.Solution()})
+	// The solution block is tightly strided (mat.New), so its backing
+	// array IS the column-major flat reply — no copy on the hot path.
+	x := job.SolutionMatrix()
+	reply(w, solveReply{
+		ID: req.ID, X: x.Data, NRHS: nrhs,
+		Granted:     job.Granted(),
+		QueueWaitMs: job.QueueWait().Seconds() * 1e3,
+		SpanMs:      job.Span().Seconds() * 1e3,
+	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed, use GET", r.Method)
+		return
+	}
 	s.mu.Lock()
 	stored := len(s.facs)
 	s.mu.Unlock()
@@ -248,6 +413,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"engine": s.eng.Stats(),
 		"stored": stored,
 	})
+}
+
+// mux builds the route table. Method checks live in the handlers (not
+// in method-qualified patterns) so direct handler tests and the live
+// server agree on 405 behaviour.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/factor", func(w http.ResponseWriter, r *http.Request) { s.handleFactor(w, r, false) })
+	mux.HandleFunc("/v1/cholesky", func(w http.ResponseWriter, r *http.Request) { s.handleFactor(w, r, true) })
+	mux.HandleFunc("/v1/solve", func(w http.ResponseWriter, r *http.Request) { s.handleSolve(w, r, false) })
+	mux.HandleFunc("/v1/cholesky/solve", func(w http.ResponseWriter, r *http.Request) { s.handleSolve(w, r, true) })
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
 }
 
 func main() {
@@ -271,15 +449,10 @@ func main() {
 	}
 	defer eng.Close()
 
-	s := &server{eng: eng, keep: *keep, facs: map[string]*repro.Factorization{}}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/factor", s.handleFactor)
-	mux.HandleFunc("POST /v1/solve", s.handleSolve)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-
+	s := &server{eng: eng, keep: *keep, facs: map[string]stored{}}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           s.mux(),
 		ReadHeaderTimeout: 10 * time.Second,
 		// Generous body/response windows: factor payloads can be large
 		// and jobs queue behind the admission bound, but no connection

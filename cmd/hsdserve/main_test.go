@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// newTestServer spins up a small resident engine behind the real mux.
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	eng, err := repro.NewEngine(repro.EngineOptions{Workers: 2, MaxInflight: 8, DynamicRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{eng: eng, keep: 8, facs: map[string]stored{}}
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding reply: %v", err)
+	}
+	return resp, out
+}
+
+// TestServeFactorSolveRoundTrip drives factor then single- and
+// multi-RHS solves through the HTTP surface and checks the arithmetic.
+func TestServeFactorSolveRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/v1/factor",
+		`{"rows":2,"cols":2,"data":[4,3,6,3],"residual":true,"workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factor: %d %v", resp.StatusCode, out)
+	}
+	id := out["id"].(string)
+	if r := out["residual"].(float64); r > 1e-12 {
+		t.Fatalf("factor residual %g", r)
+	}
+
+	resp, out = postJSON(t, ts.URL+"/v1/solve", fmt.Sprintf(`{"id":%q,"b":[10,12]}`, id))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %v", resp.StatusCode, out)
+	}
+	x := out["x"].([]any)
+	// 4x+3y=10, 6x+3y=12 -> x=1, y=2.
+	if len(x) != 2 || abs(x[0].(float64)-1) > 1e-12 || abs(x[1].(float64)-2) > 1e-12 {
+		t.Fatalf("solve got %v, want [1 2]", x)
+	}
+
+	// Two right-hand sides at once, column-major.
+	resp, out = postJSON(t, ts.URL+"/v1/solve",
+		fmt.Sprintf(`{"id":%q,"b":[10,12,7,9],"nrhs":2}`, id))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve nrhs=2: %d %v", resp.StatusCode, out)
+	}
+	if got := out["x"].([]any); len(got) != 4 {
+		t.Fatalf("multi-RHS solution length %d, want 4", len(got))
+	}
+	if out["nrhs"].(float64) != 2 {
+		t.Fatalf("nrhs echoed %v", out["nrhs"])
+	}
+}
+
+// TestServeCholeskyEndpoints round-trips /v1/cholesky and
+// /v1/cholesky/solve, and checks the cholesky solve endpoint rejects
+// LU ids.
+func TestServeCholeskyEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/v1/cholesky", `{"n":48,"seed":3,"workers":1,"residual":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cholesky factor: %d %v", resp.StatusCode, out)
+	}
+	id := out["id"].(string)
+	if !strings.HasPrefix(id, "c-") {
+		t.Fatalf("cholesky id %q", id)
+	}
+	if r := out["residual"].(float64); r > 1e-10 {
+		t.Fatalf("cholesky residual %g", r)
+	}
+	b := make([]string, 48)
+	for i := range b {
+		b[i] = "1"
+	}
+	resp, out = postJSON(t, ts.URL+"/v1/cholesky/solve",
+		fmt.Sprintf(`{"id":%q,"b":[%s]}`, id, strings.Join(b, ",")))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cholesky solve: %d %v", resp.StatusCode, out)
+	}
+	if len(out["x"].([]any)) != 48 {
+		t.Fatalf("cholesky solution length %d", len(out["x"].([]any)))
+	}
+
+	// An LU id is not accepted by the cholesky solve endpoint.
+	resp, out = postJSON(t, ts.URL+"/v1/factor", `{"n":16,"seed":1,"workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factor: %d %v", resp.StatusCode, out)
+	}
+	luID := out["id"].(string)
+	resp, _ = postJSON(t, ts.URL+"/v1/cholesky/solve",
+		fmt.Sprintf(`{"id":%q,"b":[%s]}`, luID, strings.Repeat("1,", 15)+"1"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cholesky solve of LU id: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeMethodNotAllowed: every mutating endpoint rejects non-POST
+// with 405 (and an Allow header); /v1/stats rejects non-GET.
+func TestServeMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/v1/factor", "/v1/solve", "/v1/cholesky", "/v1/cholesky/solve"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s: %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+			t.Fatalf("GET %s: Allow %q, want POST", path, allow)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/stats", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats: %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServeTrailingGarbageRejected: a body with data after the first
+// JSON value is a 400, on every mutating endpoint.
+func TestServeTrailingGarbageRejected(t *testing.T) {
+	_, ts := newTestServer(t)
+	bodies := map[string]string{
+		"/v1/factor":         `{"n":8,"seed":1} {"n":9}`,
+		"/v1/cholesky":       `{"n":8,"seed":1} garbage`,
+		"/v1/solve":          `{"id":"f-1","b":[1]} []`,
+		"/v1/cholesky/solve": `{"id":"c-1","b":[1]} 42`,
+	}
+	for path, body := range bodies {
+		resp, out := postJSON(t, ts.URL+path, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s with trailing data: %d (%v), want 400", path, resp.StatusCode, out)
+		}
+	}
+	// Stray closing brackets are the json.Decoder.More blind spot: More
+	// peeks '}'/']' and reports false, so only a Token/EOF check
+	// catches them.
+	for _, body := range []string{`{"n":8,"seed":1} }`, `{"n":8,"seed":1} ]`} {
+		resp, out := postJSON(t, ts.URL+"/v1/factor", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("trailing bracket %q: %d (%v), want 400", body, resp.StatusCode, out)
+		}
+	}
+	// A clean body still works after the rejections.
+	resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":8,"seed":1,"workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean factor after rejects: %d %v", resp.StatusCode, out)
+	}
+}
+
+// TestServeDegradedSolveReportsPrefix: solving against a degraded
+// factorization returns 422 with the solvable prefix, not an opaque
+// error string.
+func TestServeDegradedSolveReportsPrefix(t *testing.T) {
+	s, ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":32,"seed":5,"workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factor: %d %v", resp.StatusCode, out)
+	}
+	id := out["id"].(string)
+	// Degrade the stored factorization the way a prefix-padded singular
+	// fallback would: zero the factored tail of U.
+	st, ok := s.lookup(id)
+	if !ok {
+		t.Fatalf("stored factorization %q missing", id)
+	}
+	for j := 20; j < 32; j++ {
+		st.lu.U.Set(j, j, 0)
+	}
+	b := strings.Repeat("1,", 31) + "1"
+	resp, out = postJSON(t, ts.URL+"/v1/solve", fmt.Sprintf(`{"id":%q,"b":[%s]}`, id, b))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("degraded solve: %d %v, want 422", resp.StatusCode, out)
+	}
+	if p := out["solvablePrefix"].(float64); p != 20 {
+		t.Fatalf("solvablePrefix %v, want 20", p)
+	}
+	if n := out["n"].(float64); n != 32 {
+		t.Fatalf("n %v, want 32", n)
+	}
+}
+
+// TestServeSolveBadShapes covers rhs-shape validation and unknown ids.
+func TestServeSolveBadShapes(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/v1/solve", `{"id":"f-404","b":[1,2]}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: %d, want 404", resp.StatusCode)
+	}
+	resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":8,"seed":2,"workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factor: %d %v", resp.StatusCode, out)
+	}
+	id := out["id"].(string)
+	resp, _ = postJSON(t, ts.URL+"/v1/solve", fmt.Sprintf(`{"id":%q,"b":[1,2,3]}`, id))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short rhs: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/solve", fmt.Sprintf(`{"id":%q,"b":[1,2,3,4,5,6,7,8],"nrhs":3}`, id))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("rhs not n*nrhs: %d, want 400", resp.StatusCode)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestServeSolveHugeNRHSRejected: an absurd nrhs must be a 400, not an
+// overflow that sneaks past the n*nrhs length check.
+func TestServeSolveHugeNRHSRejected(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":3,"seed":2,"workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factor: %d %v", resp.StatusCode, out)
+	}
+	id := out["id"].(string)
+	// 3 * 6148914691236517206 wraps to 2 in uint64 arithmetic; the
+	// handler must still reject the two-entry rhs.
+	resp, _ = postJSON(t, ts.URL+"/v1/solve",
+		fmt.Sprintf(`{"id":%q,"b":[1,2],"nrhs":6148914691236517206}`, id))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("huge nrhs: %d, want 400", resp.StatusCode)
+	}
+}

@@ -82,7 +82,7 @@ func runEngine(work []workload, pool int, dratio float64) time.Duration {
 	}
 	for i, j := range jobs {
 		check(j.Wait())
-		sj, err := eng.SubmitSolve(j.Factorization(), work[i].b)
+		sj, err := eng.SubmitSolve(j.Factorization(), work[i].b, work[i].opt)
 		check(err)
 		check(sj.Wait())
 		if r := repro.SolveResidual(work[i].a, sj.Solution(), work[i].b); r > 1e-9 {

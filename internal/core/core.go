@@ -272,8 +272,14 @@ func Residual(a *mat.Dense, f *Factorization) float64 {
 	return mat.MaxAbsDiff(pa, lu) / denom
 }
 
-// Solve solves A x = b using the factorization: x = U^{-1} L^{-1} P b.
-// A must have been square.
+// Solve solves A x = b for one right-hand side with scalar
+// substitution: x = U^{-1} L^{-1} P b. A must have been square. It is
+// the sequential oracle of the blocked multi-RHS path (SolveMany /
+// PrepareSolve), which routes the same arithmetic through the packed
+// kernels and the task runtime. A degraded factorization — a zero
+// diagonal in U, the prefix-padded output of a factorization that
+// absorbed singular chunks — yields a *SingularSolveError carrying the
+// factored-prefix length.
 func (f *Factorization) Solve(b []float64) ([]float64, error) {
 	m := f.L.Rows
 	n := f.U.Cols
@@ -282,6 +288,9 @@ func (f *Factorization) Solve(b []float64) ([]float64, error) {
 	}
 	if len(b) != m {
 		return nil, fmt.Errorf("core: rhs length %d != %d", len(b), m)
+	}
+	if p := diagPrefix(f.U); p < n {
+		return nil, &SingularSolveError{Prefix: p, N: n}
 	}
 	// y = P b
 	y := make([]float64, m)
@@ -294,13 +303,9 @@ func (f *Factorization) Solve(b []float64) ([]float64, error) {
 			y[i] -= f.L.At(i, j) * y[j]
 		}
 	}
-	// Back substitution with U.
+	// Back substitution with U (the diagonal was screened above).
 	for j := n - 1; j >= 0; j-- {
-		ujj := f.U.At(j, j)
-		if ujj == 0 {
-			return nil, fmt.Errorf("core: singular U at %d", j)
-		}
-		y[j] /= ujj
+		y[j] /= f.U.At(j, j)
 		for i := 0; i < j; i++ {
 			y[i] -= f.U.At(i, j) * y[j]
 		}

@@ -38,6 +38,12 @@ const (
 	// S updates trailing blocks: A_IJ -= L_IK * U_KJ, possibly grouped
 	// over several owned block columns (the k=3 grouping of section 3).
 	S
+	// DSolve is a diagonal triangular-solve task of the blocked
+	// triangular-solve graph (solve.go): X_K <- T_KK^{-1} X_K.
+	DSolve
+	// RUpd is a right-hand-side GEMM update task of the solve graph:
+	// X_I -= T_IK * X_K.
+	RUpd
 )
 
 // String returns a short human-readable kind name.
@@ -55,6 +61,10 @@ func (k Kind) String() string {
 		return "U"
 	case S:
 		return "S"
+	case DSolve:
+		return "D"
+	case RUpd:
+		return "R"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -68,7 +78,7 @@ func kindOrder(k Kind) int {
 		return 1
 	case Final:
 		return 2
-	case L:
+	case L, DSolve:
 		return 3
 	case U:
 		return 4

@@ -40,9 +40,11 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dag"
 	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/rt"
+	"repro/internal/sched"
 )
 
 var (
@@ -200,19 +202,41 @@ type jobKind uint8
 
 const (
 	factorJob jobKind = iota
+	choleskyJob
 	solveJob
 )
 
-// Job is the handle of one submitted Factor or Solve. Wait (or Done)
-// observes completion; the result accessors are valid afterwards.
+// Solvable is a completed factorization the engine can schedule a
+// blocked triangular-solve graph for: *core.Factorization and
+// *core.CholeskyFactorization both qualify.
+type Solvable interface {
+	PrepareSolve(b *mat.Dense, opt core.Options) (*core.SolveJob, error)
+}
+
+// Job is the handle of one submitted Factor, CholeskyFactor or Solve.
+// Wait (or Done) observes completion; the result accessors are valid
+// afterwards. Every kind of job executes as a task graph on the pool:
+// solves are no longer a single inline task but a blocked two-sweep
+// triangular-solve DAG scheduled at the job's granted share, lending
+// included.
 type Job struct {
 	kind jobKind
 
-	// Factor inputs/state.
-	a       *mat.Dense
-	reqOpt  core.Options
-	fj      *core.FactorJob
-	ex      *rt.Executor
+	// Factor inputs.
+	a      *mat.Dense
+	reqOpt core.Options
+	// Solve inputs: the source factorization and the RHS block. single
+	// marks a one-column convenience submission whose result is also
+	// exposed as a flat slice.
+	src    Solvable
+	bmat   *mat.Dense
+	single bool
+
+	// Execution state.
+	ex *rt.Executor
+	// finish assembles the job's result from the runtime result; set by
+	// startJob together with ex.
+	finish  func(rt.Result)
 	granted int
 	// nextSeat hands reserved seats [1,granted) to claiming workers
 	// (seat 0 belongs to the starter); guarded by Engine.mu.
@@ -227,26 +251,29 @@ type Job struct {
 	lendHint  atomic.Bool
 	finishing atomic.Bool
 
-	// Solve inputs.
-	f *core.Factorization
-	b []float64
-
 	queued, started time.Time
 	queueWait, span time.Duration
 
 	done chan struct{}
 	fac  *core.Factorization
+	cfac *core.CholeskyFactorization
+	xmat *mat.Dense
 	x    []float64
 	err  error
 }
 
-// req is the requested static share; unset means "as much as the pool
-// can guarantee".
+// req is the requested static share. For factorizations an unset
+// request means "as much as the pool can guarantee"; for solves it
+// means one worker — a solve is O(n²·nrhs) against the factorization's
+// O(n³), so a service that doesn't ask for a wider share should not
+// have tiny solves reserving the whole pool. An explicitly requested
+// share is honoured for every kind, and even a one-worker solve still
+// publishes shared work for the pool's floaters to lend into.
 func (j *Job) req(pool int) int {
-	if j.kind == solveJob {
-		return 1
-	}
 	if j.reqOpt.Workers <= 0 {
+		if j.kind == solveJob {
+			return 1
+		}
 		return pool
 	}
 	return j.reqOpt.Workers
@@ -264,8 +291,17 @@ func (j *Job) Wait() error {
 // Factorization returns the result of a completed Factor job.
 func (j *Job) Factorization() *core.Factorization { return j.fac }
 
-// Solution returns the result of a completed Solve job.
+// CholeskyFactorization returns the result of a completed
+// CholeskyFactor job.
+func (j *Job) CholeskyFactorization() *core.CholeskyFactorization { return j.cfac }
+
+// Solution returns the result of a completed single-RHS Solve job as a
+// flat vector (the first column of SolutionMatrix).
 func (j *Job) Solution() []float64 { return j.x }
+
+// SolutionMatrix returns the n x nrhs solution block of a completed
+// Solve job.
+func (j *Job) SolutionMatrix() *mat.Dense { return j.xmat }
 
 // Granted is the static worker share the job ran with (valid once the
 // job has started; final after Wait). The result is bit-identical to a
@@ -297,21 +333,102 @@ func (e *Engine) TrySubmitFactor(a *mat.Dense, opt core.Options) (*Job, error) {
 	return e.admit(&Job{kind: factorJob, a: a, reqOpt: opt, done: make(chan struct{})}, false)
 }
 
-// SubmitSolve admits a solve of f (a completed factorization) against
-// rhs b, blocking while the admission queue is full.
-func (e *Engine) SubmitSolve(f *core.Factorization, b []float64) (*Job, error) {
-	if f == nil || f.L == nil {
+// SubmitCholeskyFactor admits a tiled Cholesky factorization of the
+// symmetric positive definite matrix a (only the lower triangle is
+// read; a is not modified) under opt, blocking while the admission
+// queue is full. Cholesky jobs ride the pool exactly like CALU jobs:
+// granted static share, dynamic lending, bit-identical to a one-shot
+// core.FactorCholesky at Workers=Granted.
+func (e *Engine) SubmitCholeskyFactor(a *mat.Dense, opt core.Options) (*Job, error) {
+	if a == nil || a.Rows == 0 || a.Cols == 0 {
+		return nil, errors.New("engine: factor needs a non-empty matrix")
+	}
+	return e.admit(&Job{kind: choleskyJob, a: a, reqOpt: opt, done: make(chan struct{})}, true)
+}
+
+// TrySubmitCholeskyFactor is SubmitCholeskyFactor with ErrSaturated
+// instead of blocking when the admission queue is full.
+func (e *Engine) TrySubmitCholeskyFactor(a *mat.Dense, opt core.Options) (*Job, error) {
+	if a == nil || a.Rows == 0 || a.Cols == 0 {
+		return nil, errors.New("engine: factor needs a non-empty matrix")
+	}
+	return e.admit(&Job{kind: choleskyJob, a: a, reqOpt: opt, done: make(chan struct{})}, false)
+}
+
+// solveJobOf wraps a solve submission. The single-RHS convenience form
+// aliases b as a one-column block and mirrors the solution back as a
+// flat vector.
+func solveJobOf(f Solvable, b []float64, opt core.Options) (*Job, error) {
+	if f == nil {
 		return nil, errors.New("engine: solve needs a completed factorization")
 	}
-	return e.admit(&Job{kind: solveJob, f: f, b: b, done: make(chan struct{})}, true)
+	if len(b) == 0 {
+		return nil, errors.New("engine: solve needs a non-empty right-hand side")
+	}
+	bm := mat.FromColMajor(len(b), 1, len(b), b)
+	return &Job{kind: solveJob, src: f, bmat: bm, single: true, reqOpt: opt, done: make(chan struct{})}, nil
+}
+
+// solveManyJobOf wraps a multi-RHS solve submission.
+func solveManyJobOf(f Solvable, b *mat.Dense, opt core.Options) (*Job, error) {
+	if f == nil {
+		return nil, errors.New("engine: solve needs a completed factorization")
+	}
+	if b == nil || b.Rows == 0 || b.Cols == 0 {
+		return nil, errors.New("engine: solve needs a non-empty right-hand side")
+	}
+	return &Job{kind: solveJob, src: f, bmat: b, reqOpt: opt, done: make(chan struct{})}, nil
+}
+
+// SubmitSolve admits a single-RHS solve of f (a completed LU or
+// Cholesky factorization) against rhs b, blocking while the admission
+// queue is full. The solve executes as a blocked triangular-solve
+// graph on the pool at the job's granted share (opt.Workers requests
+// the share; opt.Scheduler/Block/DynamicRatio shape the graph), so big
+// solves parallelize and lend exactly like factorizations.
+func (e *Engine) SubmitSolve(f Solvable, b []float64, opt core.Options) (*Job, error) {
+	j, err := solveJobOf(f, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	return e.admit(j, true)
 }
 
 // TrySubmitSolve is SubmitSolve with ErrSaturated instead of blocking.
-func (e *Engine) TrySubmitSolve(f *core.Factorization, b []float64) (*Job, error) {
-	if f == nil || f.L == nil {
-		return nil, errors.New("engine: solve needs a completed factorization")
+func (e *Engine) TrySubmitSolve(f Solvable, b []float64, opt core.Options) (*Job, error) {
+	j, err := solveJobOf(f, b, opt)
+	if err != nil {
+		return nil, err
 	}
-	return e.admit(&Job{kind: solveJob, f: f, b: b, done: make(chan struct{})}, false)
+	return e.admit(j, false)
+}
+
+// SubmitSolveMany admits a multi-RHS solve of f against the n x nrhs
+// block b (not modified), blocking while the admission queue is full.
+func (e *Engine) SubmitSolveMany(f Solvable, b *mat.Dense, opt core.Options) (*Job, error) {
+	j, err := solveManyJobOf(f, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	return e.admit(j, true)
+}
+
+// TrySubmitSolveMany is SubmitSolveMany with ErrSaturated instead of
+// blocking.
+func (e *Engine) TrySubmitSolveMany(f Solvable, b *mat.Dense, opt core.Options) (*Job, error) {
+	j, err := solveManyJobOf(f, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	return e.admit(j, false)
+}
+
+// SubmitCholeskySolve is SubmitSolve for a Cholesky factorization,
+// named for symmetry with SubmitCholeskyFactor (Cholesky
+// factorizations are Solvable, so the generic Submit/TrySubmit solve
+// entry points accept them directly).
+func (e *Engine) SubmitCholeskySolve(f *core.CholeskyFactorization, b []float64, opt core.Options) (*Job, error) {
+	return e.SubmitSolve(f, b, opt)
 }
 
 func (e *Engine) admit(j *Job, wait bool) (*Job, error) {
@@ -480,28 +597,66 @@ func (e *Engine) assistableLocked() (*Job, int) {
 	return nil, 0
 }
 
-// startJob runs the admitted job: solves execute inline on the
-// starting worker; factorizations build their graph and executor (the
-// expensive part, outside the engine lock), publish their open seats
-// and lending slots, and the starter becomes reserved driver 0.
+// prepare builds the job's task graph, policy and result finisher (the
+// expensive part, run outside the engine lock). A panicking prepare —
+// a malformed matrix shape, a nil factorization behind the Solvable
+// interface — is converted to a job error so a bad submission can
+// never take down a pool worker.
+func (j *Job) prepare(opt core.Options) (g *dag.Graph, pol sched.Policy, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: prepare %v", r)
+		}
+	}()
+	switch j.kind {
+	case factorJob:
+		fj, err := core.PrepareFactor(j.a, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		j.finish = func(res rt.Result) { j.fac = fj.Finish(res) }
+		return fj.Graph(), fj.Policy(), nil
+	case choleskyJob:
+		cj, err := core.PrepareCholesky(j.a, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		j.finish = func(res rt.Result) { j.cfac = cj.Finish(res) }
+		return cj.Graph(), cj.Policy(), nil
+	default:
+		sj, err := j.src.PrepareSolve(j.bmat, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		j.finish = func(res rt.Result) {
+			j.xmat = sj.Finish(res).X
+			if j.single {
+				j.x = j.xmat.Col(0)
+			}
+		}
+		return sj.Graph(), sj.Policy(), nil
+	}
+}
+
+// startJob runs the admitted job: it builds the job's task graph and
+// executor (outside the engine lock), publishes its open seats and
+// lending slots, and the starter becomes reserved driver 0. Factor,
+// Cholesky and solve jobs all take this path — a solve is a blocked
+// triangular-solve graph, not an inline call, so it executes at the
+// granted share and participates in lending like any factorization.
 func (e *Engine) startJob(j *Job) {
 	j.started = time.Now()
 	j.queueWait = j.started.Sub(j.queued)
-	if j.kind == solveJob {
-		j.x, j.err = j.f.Solve(j.b)
-		e.completeJob(j, false)
-		return
-	}
 	opt := j.reqOpt
 	opt.Workers = j.granted
-	fj, err := core.PrepareFactor(j.a, opt)
+	g, pol, err := j.prepare(opt)
 	if err != nil {
 		j.err = err
 		e.completeJob(j, false)
 		return
 	}
 	helpers := e.floaters()
-	ex, err := rt.NewExecutor(fj.Graph(), fj.Policy(), rt.Options{
+	ex, err := rt.NewExecutor(g, pol, rt.Options{
 		Workers:           j.granted,
 		Helpers:           helpers,
 		ExternalWorkspace: true,
@@ -514,7 +669,7 @@ func (e *Engine) startJob(j *Job) {
 		e.completeJob(j, false)
 		return
 	}
-	j.fj, j.ex = fj, ex
+	j.ex = ex
 	j.helperSlots = make(chan int, helpers)
 	for s := 0; s < helpers; s++ {
 		j.helperSlots <- j.granted + s
@@ -554,7 +709,7 @@ func (e *Engine) driveJob(j *Job, seat int) {
 	if err != nil {
 		j.err = err
 	} else {
-		j.fac = j.fj.Finish(res)
+		j.finish(res)
 	}
 	e.completeJob(j, true)
 }

@@ -242,7 +242,7 @@ func TestEngineSolve(t *testing.T) {
 	for i := range b {
 		b[i] = float64(i%5) - 2
 	}
-	sj, err := e.SubmitSolve(fj.Factorization(), b)
+	sj, err := e.SubmitSolve(fj.Factorization(), b, core.Options{Block: 8, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -526,7 +526,7 @@ func TestEngineStress(t *testing.T) {
 				for i := range b {
 					b[i] = rng.NormFloat64()
 				}
-				sj, err := e.SubmitSolve(j.Factorization(), b)
+				sj, err := e.SubmitSolve(j.Factorization(), b, opt)
 				if err != nil {
 					t.Errorf("solve submit: %v", err)
 					return
@@ -549,5 +549,238 @@ func TestEngineStress(t *testing.T) {
 	}
 	if want := int64(2 * submitters * perSub); st.JobsDone != want {
 		t.Fatalf("JobsDone %d want %d", st.JobsDone, want)
+	}
+}
+
+// TestEngineSolveMultiRHS pushes an n x nrhs block through the engine's
+// blocked solve graph and checks every column against the scalar
+// oracle residual-wise.
+func TestEngineSolveMultiRHS(t *testing.T) {
+	e, err := New(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(41))
+	const n, nrhs = 96, 6
+	a := mat.Random(n, n, rng)
+	fj, err := e.SubmitFactor(a, core.Options{Block: 16, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fj.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	b := mat.Random(n, nrhs, rng)
+	sj, err := e.SubmitSolveMany(fj.Factorization(), b, core.Options{
+		Block: 16, Workers: 2, Scheduler: core.ScheduleHybrid, DynamicRatio: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sj.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	x := sj.SolutionMatrix()
+	if x == nil || x.Rows != n || x.Cols != nrhs {
+		t.Fatalf("solution block missing or misshapen: %+v", x)
+	}
+	for j := 0; j < nrhs; j++ {
+		if r := core.SolveResidual(a, x.Col(j), b.Col(j)); r > tol {
+			t.Fatalf("col %d residual %g", j, r)
+		}
+	}
+}
+
+// TestEngineSolveUsesMultipleWorkers is the acceptance check that a
+// solve job with granted share > 1 is a real parallel citizen of the
+// pool: its trace must show solve tasks executed on more than one
+// worker timeline. A rendezvous in the noise hook makes the check
+// deterministic on any machine (including a contended 1-CPU CI
+// container): once the ready pool is deep, the first worker blocks
+// until a second worker has also executed a task, which can only
+// happen if the job truly runs on several of its granted seats.
+func TestEngineSolveUsesMultipleWorkers(t *testing.T) {
+	e, err := New(Options{Workers: 4, DynamicRatio: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(43))
+	const n, nrhs = 512, 16
+	a := mat.RandomDiagDominant(n, rng)
+	fj, err := e.SubmitFactor(a, core.Options{Block: 32, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fj.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	b := mat.Random(n, nrhs, rng)
+
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	completions := 0
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	timedOut := false
+	noise := func(w int) time.Duration {
+		mu.Lock()
+		seen[w] = true
+		workers := len(seen)
+		completions++
+		c := completions
+		mu.Unlock()
+		if workers >= 2 {
+			releaseOnce.Do(func() { close(release) })
+			return 0
+		}
+		// Successors are resolved after this hook returns, so only
+		// block once earlier completions have already published a deep
+		// ready pool for the other seats to drain.
+		if c >= 3 {
+			select {
+			case <-release:
+			case <-time.After(20 * time.Second):
+				mu.Lock()
+				timedOut = true
+				mu.Unlock()
+				releaseOnce.Do(func() { close(release) })
+			}
+		}
+		return 0
+	}
+
+	tr := trace.New(4)
+	sj, err := e.SubmitSolveMany(fj.Factorization(), b, core.Options{
+		Block: 32, Workers: 4, Scheduler: core.ScheduleDynamic, Trace: tr, Noise: noise,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sj.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if g := sj.Granted(); g != 4 {
+		t.Fatalf("granted %d, want the full static share 4", g)
+	}
+	if timedOut {
+		t.Fatal("rendezvous timed out: no second worker ever executed a solve task")
+	}
+	busy := 0
+	for w := 0; w < tr.Workers; w++ {
+		if len(tr.Spans[w]) > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("solve tasks all ran on one worker; want them spread over the granted share")
+	}
+	// And the arithmetic is still right under the contention.
+	x := sj.SolutionMatrix()
+	for j := 0; j < nrhs; j++ {
+		if r := core.SolveResidual(a, x.Col(j), b.Col(j)); r > tol {
+			t.Fatalf("col %d residual %g", j, r)
+		}
+	}
+}
+
+// TestEngineCholesky routes a Cholesky factorization and its solves
+// through the pool: SubmitCholeskyFactor must match a one-shot
+// core.FactorCholesky bit-for-bit at the granted share, and
+// SubmitCholeskySolve must hit the usual residual bound.
+func TestEngineCholesky(t *testing.T) {
+	e, err := New(Options{Workers: 4, DynamicRatio: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	a := core.RandomSPD(96, 9)
+	opt := core.Options{Block: 16, Workers: 2, Scheduler: core.ScheduleHybrid, DynamicRatio: 0.25}
+	cj, err := e.SubmitCholeskyFactor(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cj.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	cf := cj.CholeskyFactorization()
+	if cf == nil {
+		t.Fatal("no cholesky result")
+	}
+	if r := core.CholeskyResidual(a, cf); r > tol {
+		t.Fatalf("cholesky residual %g", r)
+	}
+	refOpt := opt
+	refOpt.Workers = cj.Granted()
+	ref, err := core.FactorCholesky(a, refOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.L.Data {
+		if cf.L.Data[i] != ref.L.Data[i] {
+			t.Fatalf("L[%d] differs from one-shot reference: %x vs %x",
+				i, math.Float64bits(cf.L.Data[i]), math.Float64bits(ref.L.Data[i]))
+		}
+	}
+	b := make([]float64, 96)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	sj, err := e.SubmitCholeskySolve(cf, b, core.Options{Block: 16, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sj.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if r := core.SolveResidual(a, sj.Solution(), b); r > tol {
+		t.Fatalf("cholesky solve residual %g", r)
+	}
+}
+
+// TestEngineSolveDegradedReportsPrefix: a solve against a degraded
+// factorization must fail with the typed *core.SingularSolveError so
+// service layers can report the solvable prefix, and the failure must
+// not poison the pool for later jobs.
+func TestEngineSolveDegradedReportsPrefix(t *testing.T) {
+	e, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(47))
+	a := mat.Random(64, 64, rng)
+	fj, err := e.SubmitFactor(a, core.Options{Block: 16, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fj.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	f := fj.Factorization()
+	for j := 40; j < 64; j++ {
+		f.U.Set(j, j, 0)
+	}
+	b := make([]float64, 64)
+	sj, err := e.SubmitSolve(f, b, core.Options{Block: 16, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var se *core.SingularSolveError
+	if err := sj.Wait(); !errors.As(err, &se) || se.Prefix != 40 || se.N != 64 {
+		t.Fatalf("want SingularSolveError prefix 40 of 64, got %v", err)
+	}
+	// The pool must still serve fresh jobs after the failed solve.
+	g, err := e.SubmitFactor(a, core.Options{Block: 16, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
 	}
 }

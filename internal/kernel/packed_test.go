@@ -169,6 +169,30 @@ func TestTrsmBlockedMatchesNaive(t *testing.T) {
 			if d := maxAbsDiffBacking(c1, c2); d > 1e-9*math.Max(1, NormMax(c2)) {
 				t.Fatalf("blocked trsmU mismatch n=%d m=%d: %g", n, m, d)
 			}
+			// Lower-left non-unit (forward solve sweep, Cholesky L).
+			ln := randView(rng, n, n)
+			for i := 0; i < n; i++ {
+				ln.Set(i, i, 2+rng.Float64())
+			}
+			e1 := randView(rng, n, m)
+			e2 := cloneView(e1)
+			TrsmLowerLeft(ln, e1)
+			trsmLowerLeftNaive(ln, e2)
+			if d := maxAbsDiffBacking(e1, e2); d > 1e-9*math.Max(1, NormMax(e2)) {
+				t.Fatalf("blocked trsmLL mismatch n=%d m=%d: %g", n, m, d)
+			}
+			// Upper-left (backward solve sweep).
+			un := randView(rng, n, n)
+			for i := 0; i < n; i++ {
+				un.Set(i, i, 2+rng.Float64())
+			}
+			f1 := randView(rng, n, m)
+			f2 := cloneView(f1)
+			TrsmUpperLeft(un, f1)
+			trsmUpperLeftNaive(un, f2)
+			if d := maxAbsDiffBacking(f1, f2); d > 1e-9*math.Max(1, NormMax(f2)) {
+				t.Fatalf("blocked trsmUL mismatch n=%d m=%d: %g", n, m, d)
+			}
 			// Right-lower-transposed (Cholesky panel).
 			lo := randView(rng, n, n)
 			for i := 0; i < n; i++ {

@@ -55,6 +55,108 @@ func trsmLowerLeftUnitNaive(l, b View) {
 	}
 }
 
+// TrsmLowerLeft solves L*X = B in place (B <- L^{-1} B), where L is
+// non-unit lower triangular n x n and B is n x m — the diagonal task of
+// the blocked forward solve sweep with a Cholesky factor (whose L
+// carries a real diagonal, unlike LU's unit L).
+func TrsmLowerLeft(l, b View) {
+	n, m := b.Rows, b.Cols
+	if l.Rows != n || l.Cols != n {
+		panic(fmt.Sprintf("kernel: trsmLL shape mismatch L %dx%d, B %dx%d", l.Rows, l.Cols, n, m))
+	}
+	if useNaiveKernels || n <= trsmBlock {
+		trsmLowerLeftNaive(l, b)
+		return
+	}
+	for k0 := 0; k0 < n; k0 += trsmBlock {
+		k1 := min(k0+trsmBlock, n)
+		trsmLowerLeftNaive(l.Sub(k0, k1, k0, k1), b.Sub(k0, k1, 0, m))
+		if k1 < n {
+			// B2 -= L21 * X1.
+			Gemm(b.Sub(k1, n, 0, m), l.Sub(k1, n, k0, k1), b.Sub(k0, k1, 0, m))
+		}
+	}
+}
+
+// TrsmLowerLeftNaive is the unblocked reference non-unit forward solve.
+func TrsmLowerLeftNaive(l, b View) {
+	n, m := b.Rows, b.Cols
+	if l.Rows != n || l.Cols != n {
+		panic(fmt.Sprintf("kernel: trsmLL shape mismatch L %dx%d, B %dx%d", l.Rows, l.Cols, n, m))
+	}
+	trsmLowerLeftNaive(l, b)
+}
+
+func trsmLowerLeftNaive(l, b View) {
+	n, m := b.Rows, b.Cols
+	for j := 0; j < m; j++ {
+		bj := b.Data[j*b.Stride : j*b.Stride+n]
+		for k := 0; k < n; k++ {
+			lkk := l.Data[k*l.Stride+k]
+			if lkk == 0 {
+				panic("kernel: trsmLL singular diagonal")
+			}
+			bkj := bj[k] / lkk
+			bj[k] = bkj
+			lk := l.Data[k*l.Stride:]
+			for i := k + 1; i < n; i++ {
+				bj[i] -= lk[i] * bkj
+			}
+		}
+	}
+}
+
+// TrsmUpperLeft solves U*X = B in place (B <- U^{-1} B), where U is
+// upper triangular (non-unit) n x n and B is n x m — the diagonal task
+// of the blocked backward solve sweep. Diagonal systems are carved
+// bottom-up so the off-diagonal mass rides Gemm.
+func TrsmUpperLeft(u, b View) {
+	n, m := b.Rows, b.Cols
+	if u.Rows != n || u.Cols != n {
+		panic(fmt.Sprintf("kernel: trsmUL shape mismatch U %dx%d, B %dx%d", u.Rows, u.Cols, n, m))
+	}
+	if useNaiveKernels || n <= trsmBlock {
+		trsmUpperLeftNaive(u, b)
+		return
+	}
+	for k1 := n; k1 > 0; k1 -= trsmBlock {
+		k0 := max(k1-trsmBlock, 0)
+		trsmUpperLeftNaive(u.Sub(k0, k1, k0, k1), b.Sub(k0, k1, 0, m))
+		if k0 > 0 {
+			// B0 -= U01 * X1.
+			Gemm(b.Sub(0, k0, 0, m), u.Sub(0, k0, k0, k1), b.Sub(k0, k1, 0, m))
+		}
+	}
+}
+
+// TrsmUpperLeftNaive is the unblocked reference backward solve.
+func TrsmUpperLeftNaive(u, b View) {
+	n, m := b.Rows, b.Cols
+	if u.Rows != n || u.Cols != n {
+		panic(fmt.Sprintf("kernel: trsmUL shape mismatch U %dx%d, B %dx%d", u.Rows, u.Cols, n, m))
+	}
+	trsmUpperLeftNaive(u, b)
+}
+
+func trsmUpperLeftNaive(u, b View) {
+	n, m := b.Rows, b.Cols
+	for j := 0; j < m; j++ {
+		bj := b.Data[j*b.Stride : j*b.Stride+n]
+		for k := n - 1; k >= 0; k-- {
+			ukk := u.Data[k*u.Stride+k]
+			if ukk == 0 {
+				panic("kernel: trsmUL singular diagonal")
+			}
+			bkj := bj[k] / ukk
+			bj[k] = bkj
+			uk := u.Data[k*u.Stride:]
+			for i := 0; i < k; i++ {
+				bj[i] -= uk[i] * bkj
+			}
+		}
+	}
+}
+
 // TrsmUpperRight solves X*U = B in place (B <- B U^{-1}), where U is
 // upper triangular (non-unit) n x n and B is m x n. This is the
 // "task L" kernel: L_IK = A_IK U_KK^{-1}.

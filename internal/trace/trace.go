@@ -218,6 +218,10 @@ func KindLabel(kind string) byte {
 		return 'U'
 	case "S":
 		return 'S'
+	case "D":
+		return 'D'
+	case "R":
+		return 'R'
 	}
 	return '?'
 }

@@ -33,6 +33,16 @@
 //	err = job.Wait()
 //	f := job.Factorization()
 //
+// Solves are first-class pool citizens too: a solve executes as a
+// blocked two-sweep triangular-solve task graph (diagonal TRSM tasks
+// plus packed-GEMM right-hand-side updates) under the same hybrid
+// static/dynamic scheduling as the factorizations, so a solve-heavy
+// service parallelizes its solves instead of burning one worker each.
+// Multi-RHS solves put GEMM — not GEMV — on the flop path:
+//
+//	X, err := f.SolveMany(B, repro.Options{Workers: 4})        // one-shot
+//	job, err := eng.SubmitSolveMany(f, B, repro.Options{Workers: 4})
+//
 // See DESIGN.md for the system inventory; README.md and CHANGES.md
 // carry the measured-performance record.
 package repro
@@ -100,6 +110,20 @@ func Residual(a *Matrix, f *Factorization) float64 { return core.Residual(a, f) 
 
 // SolveResidual returns the normalized residual of a solve.
 func SolveResidual(a *Matrix, x, b []float64) float64 { return core.SolveResidual(a, x, b) }
+
+// Solution is the result of a blocked multi-RHS solve: the solution
+// block plus run metadata.
+type Solution = core.Solution
+
+// SolveJob is a prepared blocked triangular solve (see
+// Factorization.PrepareSolve / CholeskyFactorization.PrepareSolve),
+// the solve counterpart of a prepared factorization.
+type SolveJob = core.SolveJob
+
+// SingularSolveError reports a solve against a degraded factorization
+// (a zero diagonal in the triangular factor); it carries the
+// factored-prefix length, i.e. how much of the system is solvable.
+type SingularSolveError = core.SingularSolveError
 
 // ReferenceLU is the sequential GEPP oracle.
 func ReferenceLU(a *Matrix) (*Factorization, error) { return core.ReferenceLU(a) }
@@ -181,8 +205,14 @@ type Engine = engine.Engine
 type EngineOptions = engine.Options
 
 // EngineJob is the handle of one submitted engine job; Wait for
-// completion, then read Factorization or Solution.
+// completion, then read Factorization, CholeskyFactorization, Solution
+// or SolutionMatrix.
 type EngineJob = engine.Job
+
+// Solvable is a completed factorization the engine can schedule a
+// blocked solve graph for: *Factorization and *CholeskyFactorization
+// both qualify.
+type Solvable = engine.Solvable
 
 // EngineStats is a point-in-time snapshot of an engine's pool and job
 // counters.

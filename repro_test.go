@@ -57,7 +57,7 @@ func TestPublicEngine(t *testing.T) {
 	for i := range b {
 		b[i] = float64(i % 7)
 	}
-	sj, err := eng.SubmitSolve(f, b)
+	sj, err := eng.SubmitSolve(f, b, Options{Block: 32, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
