@@ -573,6 +573,98 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// reportClassLatencies emits jobs/s over the whole mix plus per-class
+// p50/p99 submit-to-done latency.
+func reportClassLatencies(b *testing.B, small, large []time.Duration) {
+	b.Helper()
+	if len(small)+len(large) == 0 {
+		return
+	}
+	b.ReportMetric(float64(len(small)+len(large))/b.Elapsed().Seconds(), "jobs/s")
+	emit := func(class string, lat []time.Duration) {
+		if len(lat) == 0 {
+			return
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		b.ReportMetric(lat[len(lat)/2].Seconds()*1e3, class+"-p50-ms")
+		b.ReportMetric(lat[(len(lat)*99)/100].Seconds()*1e3, class+"-p99-ms")
+	}
+	emit("small", small)
+	emit("large", large)
+}
+
+// BenchmarkEngineMixedTraffic is the A/B behind the two-lane admission:
+// a burst of tiny factors sandwiched between two big ones, pushed
+// through the FIFO queue (big job at the head blocks the burst; every
+// tiny job pays its own reservation) and through traffic shaping
+// (express lane fuses the burst into one composite, big lane bounded to
+// BigShare), across several inter-job dynamic ratios. The metric that
+// must move is the small-class p99.
+func BenchmarkEngineMixedTraffic(b *testing.B) {
+	small := make([]*mat.Dense, 12)
+	for i := range small {
+		small[i] = RandomMatrix(64, 64, int64(200+i))
+	}
+	large := []*mat.Dense{RandomMatrix(448, 448, 300), RandomMatrix(512, 512, 301)}
+	for _, mode := range []struct {
+		name string
+		fifo bool
+	}{{"fifo", true}, {"twolane", false}} {
+		for _, dratio := range []float64{0, 0.25, 0.5} {
+			b.Run(fmt.Sprintf("%s/dratio%03.0f", mode.name, dratio*100), func(b *testing.B) {
+				eng, err := engine.New(engine.Options{
+					Workers: 4, MaxInflight: 32, DynamicRatio: dratio, FIFO: mode.fifo,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer eng.Close()
+				var mu sync.Mutex
+				var latSmall, latLarge []time.Duration
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					submit := func(a *mat.Dense, bucket *[]time.Duration) {
+						j, err := eng.SubmitFactor(a, engineJobOptions())
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							if err := j.Wait(); err != nil {
+								b.Error(err)
+								return
+							}
+							// Latency from the engine's own clock (admission to
+							// last task), not the waiter's wake-up time: with
+							// the pool saturating every core, waiter goroutines
+							// are descheduled for the length of whatever big
+							// kernel is running and would charge that to jobs
+							// that completed long before.
+							mu.Lock()
+							*bucket = append(*bucket, j.QueueWait()+j.Span())
+							mu.Unlock()
+						}()
+					}
+					// Big job first so a FIFO queue head-of-line-blocks the
+					// small burst behind it — the pathology the express lane
+					// removes.
+					submit(large[0], &latLarge)
+					for _, a := range small {
+						submit(a, &latSmall)
+					}
+					submit(large[1], &latLarge)
+					wg.Wait()
+				}
+				b.StopTimer()
+				reportClassLatencies(b, latSmall, latLarge)
+			})
+		}
+	}
+}
+
 // ---------------------------------------------------------------------
 // Triangular solve: the blocked multi-RHS solve graph versus the
 // scalar substitution baseline it replaced, at n=2048 with 32

@@ -2,39 +2,55 @@
 // HTTP/JSON: one long-lived worker pool serving concurrent Factor and
 // Solve requests with the two-level hybrid static/dynamic scheduling
 // of internal/engine (static per-job worker reservations, dynamic
-// lending across jobs). Solves execute as blocked triangular-solve
-// task graphs at the job's granted share, so big and multi-RHS solves
-// parallelize like factorizations.
+// lending across jobs). Admission is traffic-shaped: small jobs ride
+// an express lane and are fused into composite DAGs sharing one
+// reservation, big jobs are bounded to a share of the pool, and jobs
+// may carry a deadline — infeasible ones are shed before queueing.
 //
 //	hsdserve -addr :8080 -pool 8 -dratio 0.25 -maxinflight 32
 //
 // Factor a random 512x512 test matrix with a 2-worker share and keep
 // the factorization resident for later solves:
 //
-//	curl -s localhost:8080/v1/factor -d '{"n":512,"seed":7,"workers":2}'
+//	curl -s localhost:8080/v1/factor -H 'Content-Type: application/json' \
+//	    -d '{"n":512,"seed":7,"workers":2}'
 //
 // Factor a caller-supplied matrix (row-major flat array) and solve,
 // single or many right-hand sides (column-major flat, nrhs columns):
 //
-//	curl -s localhost:8080/v1/factor \
+//	curl -s localhost:8080/v1/factor -H 'Content-Type: application/json' \
 //	    -d '{"rows":2,"cols":2,"data":[4,3,6,3],"residual":true}'
-//	curl -s localhost:8080/v1/solve -d '{"id":"f-1","b":[10,12]}'
-//	curl -s localhost:8080/v1/solve \
+//	curl -s localhost:8080/v1/solve -H 'Content-Type: application/json' \
+//	    -d '{"id":"f-1","b":[10,12]}'
+//	curl -s localhost:8080/v1/solve -H 'Content-Type: application/json' \
 //	    -d '{"id":"f-1","b":[10,12,4,3],"nrhs":2,"workers":2}'
 //
 // Cholesky jobs ride the same pool (n/seed generates a random SPD test
 // matrix; data must be SPD, lower triangle read):
 //
-//	curl -s localhost:8080/v1/cholesky -d '{"n":512,"seed":7,"workers":2}'
-//	curl -s localhost:8080/v1/cholesky/solve -d '{"id":"c-1","b":[...]}'
+//	curl -s localhost:8080/v1/cholesky -H 'Content-Type: application/json' \
+//	    -d '{"n":512,"seed":7,"workers":2}'
+//	curl -s localhost:8080/v1/cholesky/solve -H 'Content-Type: application/json' \
+//	    -d '{"id":"c-1","b":[...]}'
 //	curl -s localhost:8080/v1/stats
 //
-// Mutating endpoints are POST-only (405 otherwise) and reject bodies
-// with trailing data after the JSON value (400). Saturation (admission
-// queue at -maxinflight) returns 503 so load balancers can back off;
-// a solve against a degraded factorization returns 422 with the
-// solvable prefix. Factorizations are kept for -keep solves and
-// evicted FIFO.
+// Traffic shaping: every job request takes "class" ("auto", "small",
+// "large"; default auto classifies by estimated flops) and
+// "deadlineMs", a submit-relative SLO. A request whose estimated
+// service time already exceeds its deadline is shed with a cheap 503
+// (Retry-After set) before it consumes a worker reservation:
+//
+//	curl -s localhost:8080/v1/factor -H 'Content-Type: application/json' \
+//	    -d '{"n":64,"seed":1,"class":"small","deadlineMs":250}'
+//
+// Mutating endpoints are POST-only (405 otherwise), require a JSON
+// Content-Type when one is sent (415 otherwise), cap bodies at
+// -maxbody bytes (413) and reject trailing data after the JSON value
+// (400). Saturation (admission queue at -maxinflight) returns 429 so
+// load balancers can back off; a shed deadline returns 503; a solve
+// against a degraded factorization returns 422 with the solvable
+// prefix. Factorizations are kept resident under -keep / -membudget
+// with least-recently-used eviction and an optional -ttl idle expiry.
 package main
 
 import (
@@ -44,6 +60,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"mime"
 	"net/http"
 	"os"
 	"strings"
@@ -53,9 +70,10 @@ import (
 	"repro"
 )
 
-// maxBody caps request bodies (a 2048x2048 JSON matrix is ~90 MB; we
-// stop well before a streaming client can grow memory without bound).
-const maxBody = 256 << 20
+// defaultMaxBody caps request bodies (a 2048x2048 JSON matrix is
+// ~90 MB; we stop well before a streaming client can grow memory
+// without bound). Override with -maxbody.
+const defaultMaxBody = 256 << 20
 
 // stored is one resident factorization: exactly one of lu/chol is set.
 type stored struct {
@@ -80,16 +98,47 @@ func (st stored) solvable() repro.Solvable {
 	return st.chol
 }
 
+// sizeBytes estimates the resident cost of the factors (the dominant
+// allocations; pivot vectors and metadata are noise at this scale).
+func (st stored) sizeBytes() int64 {
+	if st.lu != nil {
+		return int64(len(st.lu.L.Data)+len(st.lu.U.Data)) * 8
+	}
+	return int64(len(st.chol.L.Data)) * 8
+}
+
+// entry is one resident factorization plus its eviction bookkeeping.
+type entry struct {
+	st    stored
+	bytes int64
+	last  time.Time // last store or lookup; drives TTL expiry
+}
+
 // server wires the engine to the HTTP mux and owns the factorization
-// store.
+// store: an LRU bounded by both entry count (keep) and estimated bytes
+// (memBudget, 0 = unbounded), with optional idle-TTL expiry.
 type server struct {
-	eng *repro.Engine
+	eng       *repro.Engine
+	maxBody   int64
+	memBudget int64
+	ttl       time.Duration
 
 	mu    sync.Mutex
 	next  int
 	keep  int
-	order []string
-	facs  map[string]stored
+	bytes int64
+	order []string // LRU order: front = least recently used
+	facs  map[string]*entry
+}
+
+// newServer builds a server around an engine. keep must be >= 1;
+// memBudget and ttl of 0 disable the byte bound and idle expiry.
+func newServer(eng *repro.Engine, keep int, maxBody, memBudget int64, ttl time.Duration) *server {
+	return &server{
+		eng: eng, keep: keep, maxBody: maxBody,
+		memBudget: memBudget, ttl: ttl,
+		facs: map[string]*entry{},
+	}
 }
 
 type factorRequest struct {
@@ -106,12 +155,19 @@ type factorRequest struct {
 	Scheduler    string  `json:"scheduler"`
 	Layout       string  `json:"layout"`
 	DynamicRatio float64 `json:"dynamicRatio"`
+	// Class routes the job in the engine's two-lane admission: "auto"
+	// (default), "small" or "large".
+	Class string `json:"class"`
+	// DeadlineMs is the submit-relative SLO; jobs the engine estimates
+	// cannot meet it are shed with 503. 0 means no deadline.
+	DeadlineMs float64 `json:"deadlineMs"`
 	// Residual requests the O(n^3) backward-error check in the reply.
 	Residual bool `json:"residual"`
 }
 
 type factorReply struct {
 	ID          string   `json:"id"`
+	Class       string   `json:"class"`
 	Granted     int      `json:"granted"`
 	QueueWaitMs float64  `json:"queueWaitMs"`
 	SpanMs      float64  `json:"spanMs"`
@@ -129,6 +185,8 @@ type solveRequest struct {
 	Workers      int     `json:"workers"`
 	Scheduler    string  `json:"scheduler"`
 	DynamicRatio float64 `json:"dynamicRatio"`
+	Class        string  `json:"class"`
+	DeadlineMs   float64 `json:"deadlineMs"`
 }
 
 type solveReply struct {
@@ -136,6 +194,7 @@ type solveReply struct {
 	// X is the solution, column-major n x nrhs.
 	X           []float64 `json:"x"`
 	NRHS        int       `json:"nrhs"`
+	Class       string    `json:"class"`
 	Granted     int       `json:"granted"`
 	QueueWaitMs float64   `json:"queueWaitMs"`
 	SpanMs      float64   `json:"spanMs"`
@@ -160,6 +219,25 @@ func schedulerOptions(name string, opt *repro.Options) error {
 	return nil
 }
 
+// classOptions maps the request's traffic-shaping fields onto Options.
+func classOptions(class string, deadlineMs float64, opt *repro.Options) error {
+	switch strings.ToLower(class) {
+	case "", "auto":
+		opt.Class = repro.ClassAuto
+	case "small":
+		opt.Class = repro.ClassSmall
+	case "large", "big":
+		opt.Class = repro.ClassLarge
+	default:
+		return fmt.Errorf("unknown class %q (use auto, small or large)", class)
+	}
+	if deadlineMs < 0 {
+		return fmt.Errorf("deadlineMs must be >= 0, got %g", deadlineMs)
+	}
+	opt.Deadline = time.Duration(deadlineMs * float64(time.Millisecond))
+	return nil
+}
+
 func (s *server) options(req *factorRequest) (repro.Options, error) {
 	opt := repro.Options{
 		Block:        req.Block,
@@ -178,6 +256,9 @@ func (s *server) options(req *factorRequest) (repro.Options, error) {
 		return opt, fmt.Errorf("unknown layout %q", req.Layout)
 	}
 	if err := schedulerOptions(req.Scheduler, &opt); err != nil {
+		return opt, err
+	}
+	if err := classOptions(req.Class, req.DeadlineMs, &opt); err != nil {
 		return opt, err
 	}
 	return opt, nil
@@ -208,25 +289,91 @@ func (s *server) matrix(req *factorRequest, spd bool) (*repro.Matrix, error) {
 	return repro.RandomMatrix(req.N, req.N, req.Seed), nil
 }
 
+// removeLocked drops one entry from the store (mu held).
+func (s *server) removeLocked(id string) {
+	e, ok := s.facs[id]
+	if !ok {
+		return
+	}
+	delete(s.facs, id)
+	s.bytes -= e.bytes
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// expireLocked lazily drops idle-expired entries. The LRU order is
+// also last-use order, so expired entries cluster at the front.
+func (s *server) expireLocked(now time.Time) {
+	if s.ttl <= 0 {
+		return
+	}
+	for len(s.order) > 0 {
+		e := s.facs[s.order[0]]
+		if now.Sub(e.last) <= s.ttl {
+			return
+		}
+		s.removeLocked(s.order[0])
+	}
+}
+
 func (s *server) store(prefix string, st stored) string {
+	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.expireLocked(now)
 	s.next++
 	id := fmt.Sprintf("%s-%d", prefix, s.next)
-	s.facs[id] = st
+	e := &entry{st: st, bytes: st.sizeBytes(), last: now}
+	s.facs[id] = e
+	s.bytes += e.bytes
 	s.order = append(s.order, id)
-	for len(s.order) > s.keep {
-		delete(s.facs, s.order[0])
-		s.order = s.order[1:]
+	// Evict least-recently-used entries past either bound — but never
+	// the entry just stored: every factor reply must reference a live
+	// id, even when one factorization alone exceeds the byte budget.
+	for len(s.order) > 1 &&
+		(len(s.order) > s.keep || (s.memBudget > 0 && s.bytes > s.memBudget)) {
+		s.removeLocked(s.order[0])
 	}
 	return id
 }
 
 func (s *server) lookup(id string) (stored, bool) {
+	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st, ok := s.facs[id]
-	return st, ok
+	e, ok := s.facs[id]
+	if !ok {
+		return stored{}, false
+	}
+	if s.ttl > 0 && now.Sub(e.last) > s.ttl {
+		s.removeLocked(id)
+		return stored{}, false
+	}
+	e.last = now
+	for i, v := range s.order { // bump to most-recently-used
+		if v == id {
+			s.order = append(append(s.order[:i:i], s.order[i+1:]...), id)
+			break
+		}
+	}
+	return e.st, true
+}
+
+// storeStats snapshots the resident store for /v1/stats.
+func (s *server) storeStats() map[string]any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return map[string]any{
+		"count":       len(s.facs),
+		"bytes":       s.bytes,
+		"budgetBytes": s.memBudget,
+		"keep":        s.keep,
+		"ttlMs":       s.ttl.Seconds() * 1e3,
+	}
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -240,18 +387,34 @@ func reply(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// decodePost guards a mutating endpoint: POST only (405 otherwise) and
-// exactly one JSON value in the body — trailing garbage after the
-// value (a second JSON document, stray bytes) is a malformed request,
-// not something to silently ignore.
-func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
+// decodePost guards a mutating endpoint: POST only (405 otherwise), a
+// JSON Content-Type when one is sent (415 otherwise — a body that is
+// not JSON was almost certainly not meant for this API), the body
+// capped at maxBody (413) and exactly one JSON value in it — trailing
+// garbage after the value (a second JSON document, stray bytes) is a
+// malformed request, not something to silently ignore.
+func (s *server) decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed, use POST", r.Method)
 		return false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != "application/json" {
+			httpError(w, http.StatusUnsupportedMediaType,
+				"unsupported Content-Type %q, use application/json", ct)
+			return false
+		}
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return false
 	}
@@ -265,20 +428,28 @@ func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// submitError maps an engine submission error to an HTTP reply.
+// submitError maps an engine submission error to an HTTP reply: a shed
+// deadline is 503 (the request was refused for its SLO, not for load —
+// retrying with a looser deadline can succeed), saturation is 429 so
+// load balancers back off, anything else is the caller's fault.
 func submitError(w http.ResponseWriter, err error) {
-	if errors.Is(err, repro.ErrEngineSaturated) {
-		httpError(w, http.StatusServiceUnavailable, "engine saturated, retry later")
-		return
+	switch {
+	case errors.Is(err, repro.ErrEngineDeadlineInfeasible):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, repro.ErrEngineSaturated):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "engine saturated, retry later")
+	default:
+		httpError(w, http.StatusBadRequest, "%v", err)
 	}
-	httpError(w, http.StatusBadRequest, "%v", err)
 }
 
 // handleFactor serves /v1/factor (chol=false) and /v1/cholesky
 // (chol=true).
 func (s *server) handleFactor(w http.ResponseWriter, r *http.Request, chol bool) {
 	var req factorRequest
-	if !decodePost(w, r, &req) {
+	if !s.decodePost(w, r, &req) {
 		return
 	}
 	opt, err := s.options(&req)
@@ -323,6 +494,7 @@ func (s *server) handleFactor(w http.ResponseWriter, r *http.Request, chol bool)
 	}
 	rep := factorReply{
 		ID:          id,
+		Class:       job.Class().String(),
 		Granted:     job.Granted(),
 		QueueWaitMs: job.QueueWait().Seconds() * 1e3,
 		SpanMs:      job.Span().Seconds() * 1e3,
@@ -337,7 +509,7 @@ func (s *server) handleFactor(w http.ResponseWriter, r *http.Request, chol bool)
 // (cholesky ids only).
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request, wantChol bool) {
 	var req solveRequest
-	if !decodePost(w, r, &req) {
+	if !s.decodePost(w, r, &req) {
 		return
 	}
 	st, ok := s.lookup(req.ID)
@@ -363,6 +535,10 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request, wantChol bo
 	}
 	opt := repro.Options{Block: req.Block, Workers: req.Workers, DynamicRatio: req.DynamicRatio}
 	if err := schedulerOptions(req.Scheduler, &opt); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := classOptions(req.Class, req.DeadlineMs, &opt); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -394,6 +570,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request, wantChol bo
 	x := job.SolutionMatrix()
 	reply(w, solveReply{
 		ID: req.ID, X: x.Data, NRHS: nrhs,
+		Class:       job.Class().String(),
 		Granted:     job.Granted(),
 		QueueWaitMs: job.QueueWait().Seconds() * 1e3,
 		SpanMs:      job.Span().Seconds() * 1e3,
@@ -406,12 +583,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed, use GET", r.Method)
 		return
 	}
-	s.mu.Lock()
-	stored := len(s.facs)
-	s.mu.Unlock()
 	reply(w, map[string]any{
 		"engine": s.eng.Stats(),
-		"stored": stored,
+		"store":  s.storeStats(),
 	})
 }
 
@@ -434,9 +608,16 @@ func main() {
 	dratio := flag.Float64("dratio", 0.25, "inter-job dynamic ratio (0 fully static .. 1 fully dynamic)")
 	maxInflight := flag.Int("maxinflight", 0, "admission bound (0 = 4*pool)")
 	keep := flag.Int("keep", 64, "factorizations kept resident for /v1/solve (>= 1)")
+	maxBody := flag.Int64("maxbody", defaultMaxBody, "request body cap in bytes")
+	memBudget := flag.Int64("membudget", 0, "resident factorization memory budget in bytes (0 = unbounded)")
+	ttl := flag.Duration("ttl", 0, "idle expiry of resident factorizations (0 = never)")
 	flag.Parse()
 	if *keep < 1 {
 		fmt.Fprintf(os.Stderr, "hsdserve: -keep must be >= 1 (every /v1/factor reply references a kept factorization)\n")
+		os.Exit(2)
+	}
+	if *maxBody < 1 {
+		fmt.Fprintf(os.Stderr, "hsdserve: -maxbody must be >= 1\n")
 		os.Exit(2)
 	}
 
@@ -449,7 +630,7 @@ func main() {
 	}
 	defer eng.Close()
 
-	s := &server{eng: eng, keep: *keep, facs: map[string]stored{}}
+	s := newServer(eng, *keep, *maxBody, *memBudget, *ttl)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.mux(),

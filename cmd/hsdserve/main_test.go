@@ -6,7 +6,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -18,7 +20,7 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{eng: eng, keep: 8, facs: map[string]stored{}}
+	s := newServer(eng, 8, defaultMaxBody, 0, 0)
 	ts := httptest.NewServer(s.mux())
 	t.Cleanup(func() {
 		ts.Close()
@@ -239,6 +241,281 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// TestServeContentTypeRejected: a POST with a non-JSON Content-Type is
+// 415; an absent Content-Type or application/json with parameters is
+// accepted.
+func TestServeContentTypeRejected(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"n":8,"seed":1,"workers":1}`
+
+	resp, err := http.Post(ts.URL+"/v1/factor", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("text/plain POST: %d, want 415", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/factor", strings.NewReader(body))
+	resp, err = http.DefaultClient.Do(req) // no Content-Type at all
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("no-Content-Type POST: %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/factor", "application/json; charset=utf-8", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("charset-parameterized JSON POST: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServeBodyTooLarge: a body past the -maxbody cap is 413, and the
+// server keeps working afterwards.
+func TestServeBodyTooLarge(t *testing.T) {
+	eng, err := repro.NewEngine(repro.EngineOptions{Workers: 1, MaxInflight: 4, DynamicRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(eng, 8, 128, 0, 0) // 128-byte cap
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(func() { ts.Close(); eng.Close() })
+
+	big := fmt.Sprintf(`{"n":8,"seed":1,"data":[%s1]}`, strings.Repeat("1,", 200))
+	resp, out := postJSON(t, ts.URL+"/v1/factor", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d %v, want 413", resp.StatusCode, out)
+	}
+	resp, out = postJSON(t, ts.URL+"/v1/factor", `{"n":8,"workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body after 413: %d %v", resp.StatusCode, out)
+	}
+}
+
+// TestServeStoreLRUEviction: the keep bound evicts the least recently
+// USED factorization, not the oldest stored — a solve refreshes its
+// factorization's position.
+func TestServeStoreLRUEviction(t *testing.T) {
+	eng, err := repro.NewEngine(repro.EngineOptions{Workers: 1, MaxInflight: 4, DynamicRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(eng, 2, defaultMaxBody, 0, 0) // keep 2
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(func() { ts.Close(); eng.Close() })
+
+	factor := func() string {
+		resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":8,"seed":1,"workers":1}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("factor: %d %v", resp.StatusCode, out)
+		}
+		return out["id"].(string)
+	}
+	solve := func(id string) int {
+		resp, _ := postJSON(t, ts.URL+"/v1/solve",
+			fmt.Sprintf(`{"id":%q,"b":[1,1,1,1,1,1,1,1]}`, id))
+		return resp.StatusCode
+	}
+
+	a, b := factor(), factor()
+	if solve(a) != http.StatusOK { // refresh a: now b is least recently used
+		t.Fatalf("solve %s before eviction failed", a)
+	}
+	factor() // third entry: evicts b, not a
+	if code := solve(a); code != http.StatusOK {
+		t.Fatalf("recently-used %s evicted (solve %d)", a, code)
+	}
+	if code := solve(b); code != http.StatusNotFound {
+		t.Fatalf("least-recently-used %s still resident (solve %d, want 404)", b, code)
+	}
+}
+
+// TestServeStoreMemBudget: the byte budget evicts old factorizations
+// even below the keep count, but never the one just stored.
+func TestServeStoreMemBudget(t *testing.T) {
+	eng, err := repro.NewEngine(repro.EngineOptions{Workers: 1, MaxInflight: 4, DynamicRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 16x16 LU costs 2*16*16*8 = 4096 bytes; budget one and a half.
+	s := newServer(eng, 64, defaultMaxBody, 6000, 0)
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(func() { ts.Close(); eng.Close() })
+
+	factor := func() string {
+		resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":16,"seed":1,"workers":1}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("factor: %d %v", resp.StatusCode, out)
+		}
+		return out["id"].(string)
+	}
+	a := factor()
+	b := factor() // pushes bytes to 8192 > 6000: evicts a
+	s.mu.Lock()
+	count, bytes := len(s.facs), s.bytes
+	s.mu.Unlock()
+	if count != 1 || bytes != 4096 {
+		t.Fatalf("store after budget eviction: %d entries / %d bytes, want 1 / 4096", count, bytes)
+	}
+	if _, ok := s.lookup(a); ok {
+		t.Fatalf("%s survived the byte budget", a)
+	}
+	if _, ok := s.lookup(b); !ok {
+		t.Fatalf("just-stored %s was evicted", b)
+	}
+}
+
+// TestServeStoreTTL: an idle factorization past the TTL is gone at
+// next touch (lazy expiry; the entry is backdated instead of sleeping).
+func TestServeStoreTTL(t *testing.T) {
+	eng, err := repro.NewEngine(repro.EngineOptions{Workers: 1, MaxInflight: 4, DynamicRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(eng, 8, defaultMaxBody, 0, time.Minute)
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(func() { ts.Close(); eng.Close() })
+
+	resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":8,"seed":1,"workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factor: %d %v", resp.StatusCode, out)
+	}
+	id := out["id"].(string)
+	if _, ok := s.lookup(id); !ok {
+		t.Fatalf("%s missing right after store", id)
+	}
+	s.mu.Lock()
+	s.facs[id].last = time.Now().Add(-2 * time.Minute)
+	s.mu.Unlock()
+	resp, _ = postJSON(t, ts.URL+"/v1/solve", fmt.Sprintf(`{"id":%q,"b":[1,1,1,1,1,1,1,1]}`, id))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("solve of TTL-expired %s: %d, want 404", id, resp.StatusCode)
+	}
+	s.mu.Lock()
+	count, bytes := len(s.facs), s.bytes
+	s.mu.Unlock()
+	if count != 0 || bytes != 0 {
+		t.Fatalf("expired entry not reaped: %d entries / %d bytes", count, bytes)
+	}
+}
+
+// TestServeDeadlineShed503: a deadline the engine cannot meet is shed
+// with a cheap 503 + Retry-After, no worker consumed; a negative
+// deadline is the caller's fault (400).
+func TestServeDeadlineShed503(t *testing.T) {
+	_, ts := newTestServer(t)
+	// 512^3 * 2/3 flops against the cold-engine rate prior is tens of
+	// milliseconds; a 1-microsecond SLO is infeasible on any hardware.
+	resp, out := postJSON(t, ts.URL+"/v1/factor",
+		`{"n":512,"seed":1,"workers":1,"deadlineMs":0.001}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("infeasible deadline: %d %v, want 503", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed reply missing Retry-After")
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/factor", `{"n":8,"seed":1,"deadlineMs":-5}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative deadlineMs: %d, want 400", resp.StatusCode)
+	}
+	// The shed consumed nothing: a feasible job still runs.
+	resp, out = postJSON(t, ts.URL+"/v1/factor", `{"n":8,"seed":1,"workers":1,"deadlineMs":60000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feasible deadline after shed: %d %v", resp.StatusCode, out)
+	}
+}
+
+// TestServeSaturation429: admission at -maxinflight is 429 (back off),
+// distinct from the 503 shed.
+func TestServeSaturation429(t *testing.T) {
+	eng, err := repro.NewEngine(repro.EngineOptions{Workers: 1, MaxInflight: 1, DynamicRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(eng, 8, defaultMaxBody, 0, 0)
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(func() { ts.Close(); eng.Close() })
+
+	// Occupy the single admission slot with a job gated on a channel.
+	release := make(chan struct{})
+	var once sync.Once
+	gate, err := eng.SubmitFactor(repro.RandomMatrix(96, 96, 1), repro.Options{
+		Workers: 1,
+		Noise:   func(int) time.Duration { once.Do(func() { <-release }); return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":8,"seed":1,"workers":1}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated factor: %d %v, want 429", resp.StatusCode, out)
+	}
+	close(release)
+	if err := gate.Wait(); err != nil {
+		t.Fatalf("gate job: %v", err)
+	}
+	resp, out = postJSON(t, ts.URL+"/v1/factor", `{"n":8,"seed":1,"workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factor after release: %d %v", resp.StatusCode, out)
+	}
+}
+
+// TestServeClassAndStats: replies echo the resolved job class and
+// /v1/stats exposes per-class digests plus the store snapshot.
+func TestServeClassAndStats(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":16,"seed":1,"workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factor: %d %v", resp.StatusCode, out)
+	}
+	if out["class"] != "small" { // 16^3 flops is far under any threshold
+		t.Fatalf("tiny factor classified %v, want small", out["class"])
+	}
+	resp, out = postJSON(t, ts.URL+"/v1/factor", `{"n":16,"seed":1,"workers":1,"class":"large"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forced-large factor: %d %v", resp.StatusCode, out)
+	}
+	if out["class"] != "large" {
+		t.Fatalf("forced class echoed %v, want large", out["class"])
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/factor", `{"n":16,"class":"premium"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown class: %d, want 400", resp.StatusCode)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	engStats, ok := stats["engine"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing engine block: %v", stats)
+	}
+	small, ok := engStats["Small"].(map[string]any)
+	if !ok {
+		t.Fatalf("engine stats missing Small class digest: %v", engStats)
+	}
+	if small["Done"].(float64) < 1 {
+		t.Fatalf("small-class Done %v, want >= 1", small["Done"])
+	}
+	store, ok := stats["store"].(map[string]any)
+	if !ok || store["count"].(float64) != 2 {
+		t.Fatalf("store snapshot %v, want count 2", stats["store"])
+	}
 }
 
 // TestServeSolveHugeNRHSRejected: an absurd nrhs must be a 400, not an

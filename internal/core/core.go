@@ -50,6 +50,36 @@ func (s Scheduler) String() string {
 	return fmt.Sprintf("Scheduler(%d)", int(s))
 }
 
+// JobClass labels a job for the resident engine's two-lane admission
+// (engine package): small jobs ride an express lane that fuses waiting
+// jobs into one composite DAG sharing a single worker reservation, big
+// jobs are bounded to a configurable share of the pool so they cannot
+// head-of-line-block everyone. One-shot Factor/Solve calls ignore it.
+type JobClass uint8
+
+const (
+	// ClassAuto (the default) lets the engine classify the job by its
+	// estimated flop cost.
+	ClassAuto JobClass = iota
+	// ClassSmall forces the job into the small-job express lane.
+	ClassSmall
+	// ClassLarge forces the job into the bounded big-job lane.
+	ClassLarge
+)
+
+// String names the class like the /v1/stats output.
+func (c JobClass) String() string {
+	switch c {
+	case ClassSmall:
+		return "small"
+	case ClassLarge:
+		return "large"
+	case ClassAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("JobClass(%d)", int(c))
+}
+
 // Options configures a factorization.
 type Options struct {
 	// Layout is the storage scheme (default BCL).
@@ -74,6 +104,18 @@ type Options struct {
 	Noise func(worker int) time.Duration
 	// Seed feeds the work-stealing victim selection.
 	Seed int64
+	// Class routes the job in the resident engine's two-lane admission;
+	// ClassAuto classifies by estimated flop cost. Ignored by one-shot
+	// calls.
+	Class JobClass
+	// Deadline, when positive, is the job's submit-relative SLO for the
+	// resident engine: admission orders queued jobs by laxity (deadline
+	// minus estimated service time), the dynamic share lends
+	// preferentially to the latest job, and a submission whose
+	// estimated service time already exceeds its deadline is shed with
+	// ErrDeadlineInfeasible instead of queued. Zero means no deadline.
+	// Ignored by one-shot calls.
+	Deadline time.Duration
 
 	// globalLock (tests only) runs the scheduler under the serialized
 	// single-mutex dispatcher instead of the concurrent runtime: the A/B

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/mat"
+	"repro/internal/rt"
+)
+
+// TestFusedCompositeBitIdentical is the correctness contract behind
+// the engine's express lane: fusing a mixed batch of small factor and
+// solve jobs into one composite forest (dag.Fuse) must produce
+// BIT-identical results to running each job alone, because fusion adds
+// no edges between members — their dataflow, which fixes the
+// arithmetic completely, is untouched. Checked across all four
+// scheduling policies and both dispatchers (concurrent and the
+// serialized global-lock path); run under -race to certify the
+// dispatch paths too. Per-member OnDone callbacks must each fire
+// exactly once.
+func TestFusedCompositeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	aSmall := mat.Random(48, 48, rng)
+	aWide := mat.Random(64, 40, rng)
+	bOne := mat.Random(48, 1, rng)
+	bMany := mat.Random(48, 3, rng)
+
+	// References: each job alone. The factor graph's tournament bracket
+	// follows the worker grid, so references use the same Workers as the
+	// fused members; given that, scheduling cannot change the bits.
+	ref := Options{Block: 8, Workers: 2, Scheduler: ScheduleHybrid, DynamicRatio: 0.25}
+	refSmall, err := Factor(aSmall, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refWide, err := Factor(aWide, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refX1, err := refSmall.SolveMany(bOne, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refXm, err := refSmall.SolveMany(bMany, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sameX := func(tag string, got, want *mat.Dense) {
+		t.Helper()
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%s: X[%d] differs: %x vs %x", tag, i,
+					math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+			}
+		}
+	}
+
+	for _, gl := range []bool{false, true} {
+		for _, s := range []Scheduler{ScheduleStatic, ScheduleDynamic, ScheduleHybrid, ScheduleWorkStealing} {
+			tag := fmt.Sprintf("%s/globalLock=%v", s, gl)
+			// Fused graphs are as single-use as their members: prepare
+			// fresh jobs every round.
+			opt := Options{
+				Block: 8, Workers: 2, Scheduler: s, DynamicRatio: 0.25,
+				Seed: 7, globalLock: gl,
+			}
+			fj1, err := PrepareFactor(aSmall, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			fj2, err := PrepareFactor(aWide, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			sj1, err := refSmall.PrepareSolve(bOne, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			sj2, err := refSmall.PrepareSolve(bMany, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+
+			var fired [4]atomic.Int32
+			fused := dag.Fuse(
+				dag.FusePart{G: fj1.Graph(), Label: "factor-48", OnDone: func() { fired[0].Add(1) }},
+				dag.FusePart{G: sj1.Graph(), Label: "solve-48x1", OnDone: func() { fired[1].Add(1) }},
+				dag.FusePart{G: fj2.Graph(), Label: "factor-64x40", OnDone: func() { fired[2].Add(1) }},
+				dag.FusePart{G: sj2.Graph(), Label: "solve-48x3", OnDone: func() { fired[3].Add(1) }},
+			)
+			if err := fused.Validate(); err != nil {
+				t.Fatalf("%s: fused graph invalid: %v", tag, err)
+			}
+			res, err := rt.Run(fused.Graph, opt.policy(), rt.Options{
+				Workers: 4, GlobalLock: gl,
+			})
+			if err != nil {
+				t.Fatalf("%s: fused run: %v", tag, err)
+			}
+			for i := range fired {
+				if n := fired[i].Load(); n != 1 {
+					t.Fatalf("%s: member %d OnDone fired %d times, want 1", tag, i, n)
+				}
+			}
+			sameFactorization(t, tag+"/factor-48", fj1.Finish(res), refSmall)
+			sameFactorization(t, tag+"/factor-64x40", fj2.Finish(res), refWide)
+			sameX(tag+"/solve-48x1", sj1.Finish(res).X, refX1)
+			sameX(tag+"/solve-48x3", sj2.Finish(res).X, refXm)
+		}
+	}
+}

@@ -20,21 +20,36 @@
 // the fully dynamic end (every job pinned to a single guaranteed
 // worker, everyone else floating).
 //
-// Jobs enter a bounded admission queue (Options.MaxInflight) and start
-// FIFO as static capacity frees up; a job whose requested share is not
-// available starts anyway with what the pool can guarantee (at least
-// one worker), so service is work-conserving and a job can never be
-// starved by wide requests. The granted share is the parallelism the
-// job's task graph is built for: its result is bit-identical to a
-// one-shot core.Factor at Workers=Granted (the graph's dataflow fixes
-// the arithmetic; scheduling only reorders it).
+// Admission is traffic-shaped (see admission.go): jobs are classified
+// small or large by a flop cost model and routed to two lanes. Small
+// jobs take an express lane and are fused — a waiting burst becomes one
+// composite forest (dag.Fuse) sharing a single reservation — while big
+// jobs take a lane whose reservations are bounded to Options.BigShare
+// of the static pool whenever express traffic is waiting, so one huge
+// factorization cannot head-of-line-block a stream of tiny solves.
+// Within each lane, jobs with deadlines are served in laxity order and
+// infeasible deadlines are shed at submission with
+// ErrDeadlineInfeasible; floaters lend preferentially to the running
+// job closest to missing its deadline. Options.FIFO restores the
+// strict single-queue arrival order as an A/B baseline.
+//
+// A job whose requested share is not available starts anyway with what
+// the pool can guarantee (at least one worker), so service is
+// work-conserving and a job can never be starved by wide requests. The
+// granted share is the parallelism the job's task graph is built for:
+// its result is bit-identical to a one-shot core.Factor at
+// Workers=Granted (the graph's dataflow fixes the arithmetic;
+// scheduling only reorders it) — and fusion keeps that property,
+// because dag.Fuse adds no edges between members.
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,6 +86,24 @@ type Options struct {
 	// Values in between reproduce the paper's hybrid sweet spot at the
 	// job level.
 	DynamicRatio float64
+	// SmallJobFlops is the classification threshold: a job whose
+	// estimated flop count is at or below it is ClassSmall when the
+	// submission left Class auto. Default 1e6 (a ~96x96 LU classifies
+	// small, a 128x128 LU large).
+	SmallJobFlops float64
+	// FuseLimit caps how many waiting express-lane jobs one worker
+	// fuses into a single composite forest. Default 8.
+	FuseLimit int
+	// BigShare bounds the big lane: while express traffic is waiting,
+	// big-lane jobs may hold at most BigShare of the reservable
+	// (non-floater) pool. With an empty express lane the bound is
+	// lifted — the pool stays work-conserving for pure-big workloads.
+	// Default 0.75.
+	BigShare float64
+	// FIFO disables traffic shaping: one arrival-ordered queue, no
+	// fusion, no deadline shedding — the A/B baseline the mixed-traffic
+	// benchmark compares the two-lane path against.
+	FIFO bool
 }
 
 func (o *Options) fill() error {
@@ -83,6 +116,18 @@ func (o *Options) fill() error {
 	if o.DynamicRatio < 0 || o.DynamicRatio > 1 || math.IsNaN(o.DynamicRatio) {
 		return fmt.Errorf("engine: DynamicRatio %v outside [0,1]", o.DynamicRatio)
 	}
+	if o.SmallJobFlops <= 0 {
+		o.SmallJobFlops = 1e6
+	}
+	if o.FuseLimit <= 0 {
+		o.FuseLimit = 8
+	}
+	if o.BigShare == 0 {
+		o.BigShare = 0.75
+	}
+	if o.BigShare < 0 || o.BigShare > 1 || math.IsNaN(o.BigShare) {
+		return fmt.Errorf("engine: BigShare %v outside (0,1]", o.BigShare)
+	}
 	return nil
 }
 
@@ -90,14 +135,25 @@ func (o *Options) fill() error {
 type Stats struct {
 	// Workers is the resident pool size; Floaters its dynamic share.
 	Workers, Floaters int
-	// Pending and Active count admitted jobs by phase; ReservedInUse is
-	// the sum of active jobs' static grants; HelpersOut the floaters
-	// currently lent to a job.
-	Pending, Active, ReservedInUse, HelpersOut int
+	// Pending counts queued jobs across both lanes (SmallQueued +
+	// BigQueued); Active counts live executors (fused composites count
+	// once, not per member); ReservedInUse is the sum of active static
+	// grants, BigReserved the big-lane slice of it; HelpersOut the
+	// floaters currently lent to a job.
+	Pending, Active, ReservedInUse, BigReserved, HelpersOut int
+	// SmallQueued and BigQueued are the live lane depths.
+	SmallQueued, BigQueued int
 	// JobsDone/JobsFailed count completed jobs; Lends counts Assist
 	// attachments that executed at least one task for a foreign job.
 	JobsDone, JobsFailed, Lends int64
-	Closed                      bool
+	// FusionBatches counts composite forests launched; FusedJobs the
+	// member jobs they carried. Shed counts deadline-infeasible
+	// submissions rejected (at admission or at start); Cancelled counts
+	// queued jobs withdrawn by their submission context.
+	FusionBatches, FusedJobs, Shed, Cancelled int64
+	// Small and Large are the per-class latency digests.
+	Small, Large ClassStats
+	Closed       bool
 }
 
 // Engine is the resident factorization service. Create with New, feed
@@ -109,21 +165,33 @@ type Engine struct {
 	mu    sync.Mutex
 	work  *sync.Cond // workers wait here for assignments
 	capa  *sync.Cond // submitters wait here for admission capacity
-	queue []*Job     // admitted, not yet started (FIFO)
+	small laneQueue  // express lane (fused composites)
+	big   laneQueue  // bounded lane
 	run   []*Job     // started, executor live
-	// inflight = len(queue) + started-but-unfinished jobs; bounded by
-	// MaxInflight.
+	// inflight = queued + started-but-unfinished user jobs (composites
+	// excluded, members included); bounded by MaxInflight.
 	inflight      int
 	reservedInUse int
+	bigReserved   int
 	helpersOut    int
 	rotor         int
-	closed        bool
+	seq           uint64
+	// rate is the EWMA service-rate estimate, flops per nanosecond.
+	rate               float64
+	latSmall, latLarge latRing
+	// classDone/classFailed are indexed by classIdx.
+	classDone, classFailed [2]int64
+	closed                 bool
 
 	wg sync.WaitGroup
 
-	jobsDone   atomic.Int64
-	jobsFailed atomic.Int64
-	lends      atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	lends         atomic.Int64
+	fusionBatches atomic.Int64
+	fusedJobs     atomic.Int64
+	shedCount     atomic.Int64
+	cancelled     atomic.Int64
 }
 
 // New starts a resident engine: the worker goroutines and the pool-wide
@@ -132,7 +200,7 @@ func New(opt Options) (*Engine, error) {
 	if err := opt.fill(); err != nil {
 		return nil, err
 	}
-	e := &Engine{opt: opt}
+	e := &Engine{opt: opt, rate: ratePrior}
 	e.work = sync.NewCond(&e.mu)
 	e.capa = sync.NewCond(&e.mu)
 	// One refcounted pool-wide reservation: at most Workers goroutines
@@ -152,6 +220,21 @@ func (e *Engine) floaters() int {
 	return int(math.Round(float64(e.opt.Workers) * e.opt.DynamicRatio))
 }
 
+// classIdx maps a resolved job class to the per-class counter slot.
+func classIdx(c core.JobClass) int {
+	if c == core.ClassSmall {
+		return 0
+	}
+	return 1
+}
+
+func (e *Engine) ring(idx int) *latRing {
+	if idx == 0 {
+		return &e.latSmall
+	}
+	return &e.latLarge
+}
+
 // Close rejects queued jobs, waits for running jobs and the workers to
 // finish, and releases the pool's kernel workspaces. Safe to call once.
 func (e *Engine) Close() {
@@ -161,15 +244,21 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	dropped := e.queue
-	e.queue = nil
+	dropped := e.small.drain()
+	dropped = append(dropped, e.big.drain()...)
 	e.inflight -= len(dropped)
+	for _, j := range dropped {
+		e.classFailed[classIdx(j.class)]++
+	}
 	e.work.Broadcast()
 	e.capa.Broadcast()
 	e.mu.Unlock()
 	for _, j := range dropped {
 		j.err = ErrClosed
 		e.jobsFailed.Add(1)
+		if j.stopCancel != nil {
+			j.stopCancel()
+		}
 		close(j.done)
 	}
 	e.wg.Wait()
@@ -182,16 +271,27 @@ func (e *Engine) Stats() Stats {
 	s := Stats{
 		Workers:       e.opt.Workers,
 		Floaters:      e.floaters(),
-		Pending:       len(e.queue),
+		Pending:       e.small.depth + e.big.depth,
+		SmallQueued:   e.small.depth,
+		BigQueued:     e.big.depth,
 		Active:        len(e.run),
 		ReservedInUse: e.reservedInUse,
+		BigReserved:   e.bigReserved,
 		HelpersOut:    e.helpersOut,
 		Closed:        e.closed,
 	}
+	s.Small = ClassStats{Done: e.classDone[0], Failed: e.classFailed[0], Queued: e.small.depth}
+	s.Small.P50Ms, s.Small.P99Ms = e.latSmall.percentiles()
+	s.Large = ClassStats{Done: e.classDone[1], Failed: e.classFailed[1], Queued: e.big.depth}
+	s.Large.P50Ms, s.Large.P99Ms = e.latLarge.percentiles()
 	e.mu.Unlock()
 	s.JobsDone = e.jobsDone.Load()
 	s.JobsFailed = e.jobsFailed.Load()
 	s.Lends = e.lends.Load()
+	s.FusionBatches = e.fusionBatches.Load()
+	s.FusedJobs = e.fusedJobs.Load()
+	s.Shed = e.shedCount.Load()
+	s.Cancelled = e.cancelled.Load()
 	return s
 }
 
@@ -218,7 +318,9 @@ type Solvable interface {
 // afterwards. Every kind of job executes as a task graph on the pool:
 // solves are no longer a single inline task but a blocked two-sweep
 // triangular-solve DAG scheduled at the job's granted share, lending
-// included.
+// included. Small jobs may execute as members of a fused composite
+// forest sharing one reservation with their batch mates; the handle
+// behaves identically either way.
 type Job struct {
 	kind jobKind
 
@@ -232,10 +334,27 @@ type Job struct {
 	bmat   *mat.Dense
 	single bool
 
+	// Admission state; all guarded by Engine.mu unless noted.
+	class    core.JobClass // resolved class (never ClassAuto)
+	lane     lane
+	role     jobRole
+	state    jobState
+	seq      uint64
+	estFlops float64
+	// deadlineAbs is the absolute SLO deadline (zero = none); startBy
+	// its laxity key (deadline minus estimated service, UnixNano), or
+	// noDeadline.
+	deadlineAbs time.Time
+	startBy     int64
+	// members are the fused user jobs of a roleComposite driver.
+	members []*Job
+	// stopCancel releases the submission context's cancellation hook.
+	stopCancel func() bool
+
 	// Execution state.
 	ex *rt.Executor
 	// finish assembles the job's result from the runtime result; set by
-	// startJob together with ex.
+	// prepare together with the graph.
 	finish  func(rt.Result)
 	granted int
 	// nextSeat hands reserved seats [1,granted) to claiming workers
@@ -248,7 +367,9 @@ type Job struct {
 	// reserved workers busy, and cleared by a floater that attached
 	// and found nothing: the engine only sends floaters where the hint
 	// is up.
-	lendHint  atomic.Bool
+	lendHint atomic.Bool
+	// finishing elects the single finalizer: the first driver back for
+	// solo/composite jobs, OnDone vs composite-failure for members.
 	finishing atomic.Bool
 
 	queued, started time.Time
@@ -279,6 +400,29 @@ func (j *Job) req(pool int) int {
 	return j.reqOpt.Workers
 }
 
+// reqExpress is the express-lane share request: an explicit Workers is
+// honoured, unset defaults to one — a small job gets its throughput
+// from batch mates sharing the reservation, not from a wide personal
+// share.
+func reqExpress(j *Job) int {
+	if j.reqOpt.Workers > 0 {
+		return j.reqOpt.Workers
+	}
+	return 1
+}
+
+// label names the job in fused-composite traces.
+func (j *Job) label() string {
+	switch j.kind {
+	case factorJob:
+		return fmt.Sprintf("lu %dx%d", j.a.Rows, j.a.Cols)
+	case choleskyJob:
+		return fmt.Sprintf("chol %d", j.a.Rows)
+	default:
+		return fmt.Sprintf("solve %dx%d", j.bmat.Rows, j.bmat.Cols)
+	}
+}
+
 // Done returns a channel closed when the job has completed.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
@@ -303,10 +447,17 @@ func (j *Job) Solution() []float64 { return j.x }
 // Solve job.
 func (j *Job) SolutionMatrix() *mat.Dense { return j.xmat }
 
-// Granted is the static worker share the job ran with (valid once the
-// job has started; final after Wait). The result is bit-identical to a
-// one-shot core.Factor at Workers=Granted.
+// Granted is the static worker share the job's task graph was built
+// for (valid once the job has started; final after Wait). The result
+// is bit-identical to a one-shot core.Factor at Workers=Granted. For a
+// job that ran inside a fused composite this is the member graph's
+// width, while the composite's reservation is shared with its batch
+// mates.
 func (j *Job) Granted() int { return j.granted }
+
+// Class is the job's resolved admission class (never ClassAuto); valid
+// once the submission has returned.
+func (j *Job) Class() core.JobClass { return j.class }
 
 // QueueWait is the time the job spent admitted but not started; Span
 // is its start-to-completion service time.
@@ -318,10 +469,18 @@ func (j *Job) Span() time.Duration      { return j.span }
 // requested static share; the engine may grant less under load (at
 // least 1), recorded in Job.Granted.
 func (e *Engine) SubmitFactor(a *mat.Dense, opt core.Options) (*Job, error) {
+	return e.SubmitFactorCtx(context.Background(), a, opt)
+}
+
+// SubmitFactorCtx is SubmitFactor bound to a context: cancellation
+// unblocks a submission waiting for admission capacity, and withdraws
+// the job if it is still queued when the context fires (the job then
+// fails with the context's cause instead of executing).
+func (e *Engine) SubmitFactorCtx(ctx context.Context, a *mat.Dense, opt core.Options) (*Job, error) {
 	if a == nil || a.Rows == 0 || a.Cols == 0 {
 		return nil, errors.New("engine: factor needs a non-empty matrix")
 	}
-	return e.admit(&Job{kind: factorJob, a: a, reqOpt: opt, done: make(chan struct{})}, true)
+	return e.admit(ctx, &Job{kind: factorJob, a: a, reqOpt: opt, done: make(chan struct{})}, true)
 }
 
 // TrySubmitFactor is SubmitFactor with ErrSaturated instead of
@@ -330,7 +489,7 @@ func (e *Engine) TrySubmitFactor(a *mat.Dense, opt core.Options) (*Job, error) {
 	if a == nil || a.Rows == 0 || a.Cols == 0 {
 		return nil, errors.New("engine: factor needs a non-empty matrix")
 	}
-	return e.admit(&Job{kind: factorJob, a: a, reqOpt: opt, done: make(chan struct{})}, false)
+	return e.admit(context.Background(), &Job{kind: factorJob, a: a, reqOpt: opt, done: make(chan struct{})}, false)
 }
 
 // SubmitCholeskyFactor admits a tiled Cholesky factorization of the
@@ -340,10 +499,16 @@ func (e *Engine) TrySubmitFactor(a *mat.Dense, opt core.Options) (*Job, error) {
 // granted static share, dynamic lending, bit-identical to a one-shot
 // core.FactorCholesky at Workers=Granted.
 func (e *Engine) SubmitCholeskyFactor(a *mat.Dense, opt core.Options) (*Job, error) {
+	return e.SubmitCholeskyFactorCtx(context.Background(), a, opt)
+}
+
+// SubmitCholeskyFactorCtx is SubmitCholeskyFactor bound to a context;
+// see SubmitFactorCtx for the cancellation semantics.
+func (e *Engine) SubmitCholeskyFactorCtx(ctx context.Context, a *mat.Dense, opt core.Options) (*Job, error) {
 	if a == nil || a.Rows == 0 || a.Cols == 0 {
 		return nil, errors.New("engine: factor needs a non-empty matrix")
 	}
-	return e.admit(&Job{kind: choleskyJob, a: a, reqOpt: opt, done: make(chan struct{})}, true)
+	return e.admit(ctx, &Job{kind: choleskyJob, a: a, reqOpt: opt, done: make(chan struct{})}, true)
 }
 
 // TrySubmitCholeskyFactor is SubmitCholeskyFactor with ErrSaturated
@@ -352,7 +517,7 @@ func (e *Engine) TrySubmitCholeskyFactor(a *mat.Dense, opt core.Options) (*Job, 
 	if a == nil || a.Rows == 0 || a.Cols == 0 {
 		return nil, errors.New("engine: factor needs a non-empty matrix")
 	}
-	return e.admit(&Job{kind: choleskyJob, a: a, reqOpt: opt, done: make(chan struct{})}, false)
+	return e.admit(context.Background(), &Job{kind: choleskyJob, a: a, reqOpt: opt, done: make(chan struct{})}, false)
 }
 
 // solveJobOf wraps a solve submission. The single-RHS convenience form
@@ -387,11 +552,17 @@ func solveManyJobOf(f Solvable, b *mat.Dense, opt core.Options) (*Job, error) {
 // the share; opt.Scheduler/Block/DynamicRatio shape the graph), so big
 // solves parallelize and lend exactly like factorizations.
 func (e *Engine) SubmitSolve(f Solvable, b []float64, opt core.Options) (*Job, error) {
+	return e.SubmitSolveCtx(context.Background(), f, b, opt)
+}
+
+// SubmitSolveCtx is SubmitSolve bound to a context; see
+// SubmitFactorCtx for the cancellation semantics.
+func (e *Engine) SubmitSolveCtx(ctx context.Context, f Solvable, b []float64, opt core.Options) (*Job, error) {
 	j, err := solveJobOf(f, b, opt)
 	if err != nil {
 		return nil, err
 	}
-	return e.admit(j, true)
+	return e.admit(ctx, j, true)
 }
 
 // TrySubmitSolve is SubmitSolve with ErrSaturated instead of blocking.
@@ -400,17 +571,23 @@ func (e *Engine) TrySubmitSolve(f Solvable, b []float64, opt core.Options) (*Job
 	if err != nil {
 		return nil, err
 	}
-	return e.admit(j, false)
+	return e.admit(context.Background(), j, false)
 }
 
 // SubmitSolveMany admits a multi-RHS solve of f against the n x nrhs
 // block b (not modified), blocking while the admission queue is full.
 func (e *Engine) SubmitSolveMany(f Solvable, b *mat.Dense, opt core.Options) (*Job, error) {
+	return e.SubmitSolveManyCtx(context.Background(), f, b, opt)
+}
+
+// SubmitSolveManyCtx is SubmitSolveMany bound to a context; see
+// SubmitFactorCtx for the cancellation semantics.
+func (e *Engine) SubmitSolveManyCtx(ctx context.Context, f Solvable, b *mat.Dense, opt core.Options) (*Job, error) {
 	j, err := solveManyJobOf(f, b, opt)
 	if err != nil {
 		return nil, err
 	}
-	return e.admit(j, true)
+	return e.admit(ctx, j, true)
 }
 
 // TrySubmitSolveMany is SubmitSolveMany with ErrSaturated instead of
@@ -420,7 +597,7 @@ func (e *Engine) TrySubmitSolveMany(f Solvable, b *mat.Dense, opt core.Options) 
 	if err != nil {
 		return nil, err
 	}
-	return e.admit(j, false)
+	return e.admit(context.Background(), j, false)
 }
 
 // SubmitCholeskySolve is SubmitSolve for a Cholesky factorization,
@@ -431,12 +608,30 @@ func (e *Engine) SubmitCholeskySolve(f *core.CholeskyFactorization, b []float64,
 	return e.SubmitSolve(f, b, opt)
 }
 
-func (e *Engine) admit(j *Job, wait bool) (*Job, error) {
+// admit classifies, routes and enqueues the job: the traffic-shaping
+// decision point. ctx cancellation unblocks the capacity wait and,
+// once queued, withdraws the job (cancelQueued).
+func (e *Engine) admit(ctx context.Context, j *Job, wait bool) (*Job, error) {
+	j.estFlops = estimateFlops(j)
+	if wait && ctx.Done() != nil {
+		// Wake the capacity wait when the submitter gives up; Broadcast
+		// because several submissions may share one context.
+		stop := context.AfterFunc(ctx, func() {
+			e.mu.Lock()
+			e.capa.Broadcast()
+			e.mu.Unlock()
+		})
+		defer stop()
+	}
 	e.mu.Lock()
 	for {
 		if e.closed {
 			e.mu.Unlock()
 			return nil, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			e.mu.Unlock()
+			return nil, err
 		}
 		if e.inflight < e.opt.MaxInflight {
 			break
@@ -447,12 +642,75 @@ func (e *Engine) admit(j *Job, wait bool) (*Job, error) {
 		}
 		e.capa.Wait()
 	}
+	now := time.Now()
+	j.queued = now
+	j.seq = e.seq
+	e.seq++
+	j.class = classify(j, e.opt.SmallJobFlops)
+	j.startBy = noDeadline
+	if e.opt.FIFO {
+		// Baseline mode: one arrival-ordered lane, deadlines ignored.
+		j.lane = laneBig
+	} else {
+		if d := j.reqOpt.Deadline; d != 0 {
+			est := e.estServiceLocked(j)
+			if d < 0 || est > d {
+				e.mu.Unlock()
+				e.shedCount.Add(1)
+				return nil, fmt.Errorf("engine: estimated service %v exceeds deadline %v: %w", est, d, ErrDeadlineInfeasible)
+			}
+			j.deadlineAbs = now.Add(d)
+			j.startBy = j.deadlineAbs.Add(-est).UnixNano()
+		}
+		if j.class == core.ClassSmall {
+			j.lane = laneSmall
+		} else {
+			j.lane = laneBig
+		}
+	}
 	e.inflight++
-	j.queued = time.Now()
-	e.queue = append(e.queue, j)
+	if j.lane == laneSmall {
+		e.small.push(j)
+	} else {
+		e.big.push(j)
+	}
+	if ctx.Done() != nil {
+		// Registered under e.mu so a firing cancellation always observes
+		// the queued state (cancelQueued re-checks it under the lock).
+		j.stopCancel = context.AfterFunc(ctx, func() {
+			e.cancelQueued(j, context.Cause(ctx))
+		})
+	}
 	e.work.Signal()
 	e.mu.Unlock()
 	return j, nil
+}
+
+// cancelQueued withdraws a job whose submission context fired while it
+// was still waiting in a lane: it is marked failed with the context's
+// cause and never executes. Jobs already started run to completion.
+func (e *Engine) cancelQueued(j *Job, cause error) {
+	e.mu.Lock()
+	if j.state != jsQueued {
+		e.mu.Unlock()
+		return
+	}
+	if j.lane == laneSmall {
+		e.small.cancel(j)
+	} else {
+		e.big.cancel(j)
+	}
+	e.inflight--
+	e.classFailed[classIdx(j.class)]++
+	e.capa.Signal()
+	e.mu.Unlock()
+	if cause == nil {
+		cause = context.Canceled
+	}
+	j.err = cause
+	e.cancelled.Add(1)
+	e.jobsFailed.Add(1)
+	close(j.done)
 }
 
 // ---------------------------------------------------------------------
@@ -460,21 +718,23 @@ func (e *Engine) admit(j *Job, wait bool) (*Job, error) {
 
 // worker is one resident pool goroutine. Assignments, in preference
 // order: claim an open reserved seat of a running job (finish what was
-// started), start the queue head, or float — lend itself to a running
+// started), start lane work (an express batch, a big-lane head, or a
+// deadline-expired pop to shed), or float — lend itself to a running
 // job that has signalled spare shared work.
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for {
 		e.mu.Lock()
 		var j *Job
-		var seat, slot int
+		var batch []*Job
+		var seat, slot, grant int
 		mode := 0
 		for {
 			if j, seat = e.claimSeatLocked(); j != nil {
 				mode = 1
 				break
 			}
-			if j = e.startableLocked(); j != nil {
+			if batch, grant = e.startableLocked(); batch != nil {
 				mode = 2
 				break
 			}
@@ -500,7 +760,7 @@ func (e *Engine) worker() {
 		case 1:
 			e.driveJob(j, seat)
 		case 2:
-			e.startJob(j)
+			e.startBatch(batch, grant)
 		case 3:
 			// Lower the hint BEFORE probing: a shared publish that
 			// lands mid-assist then wins the lendSignal CAS and sends a
@@ -532,22 +792,84 @@ func (e *Engine) claimSeatLocked() (*Job, int) {
 	return nil, 0
 }
 
-// startableLocked pops the queue head if the pool can grant it a
-// static share. Admission is strictly FIFO: a wide job at the head
-// waits for capacity rather than being bypassed.
-func (e *Engine) startableLocked() *Job {
-	if len(e.queue) == 0 {
+// grantShed marks a startableLocked batch that was popped only to be
+// shed: its jobs' deadlines expired while they waited.
+const grantShed = -1
+
+// startableLocked picks the next lane work, in order: deadline-expired
+// heads to shed, an express-lane batch (fused when several small jobs
+// wait), then the big-lane head under its share bound. On success the
+// batch's jobs have been popped and the grant charged to the pool.
+func (e *Engine) startableLocked() ([]*Job, int) {
+	if exp := e.expiredLocked(); exp != nil {
+		return exp, grantShed
+	}
+	// Express lane: one worker takes every fusable waiting small job
+	// (up to FuseLimit) as a single composite sharing one reservation.
+	if head := e.small.peek(); head != nil && e.grantLocked(1) > 0 {
+		head = e.small.pop()
+		head.state = jsStarted
+		batch := []*Job{head}
+		req := reqExpress(head)
+		if head.fusable() {
+			for len(batch) < e.opt.FuseLimit {
+				next := e.small.peek()
+				if next == nil || !next.fusable() {
+					break
+				}
+				e.small.pop()
+				next.state = jsStarted
+				batch = append(batch, next)
+				if r := reqExpress(next); r > req {
+					req = r
+				}
+			}
+		}
+		g := e.grantLocked(req) // >= 1: grantLocked(1) above saw a free worker
+		e.reservedInUse += g
+		if len(batch) == 1 {
+			batch[0].granted = g
+		}
+		return batch, g
+	}
+	// Big lane, bounded to BigShare of the reservable pool while
+	// express traffic waits.
+	if head := e.big.peek(); head != nil {
+		g := e.grantBigLocked(head.req(e.opt.Workers))
+		if g == 0 {
+			return nil, 0
+		}
+		e.big.pop()
+		head.state = jsStarted
+		head.granted = g
+		e.reservedInUse += g
+		e.bigReserved += g
+		return []*Job{head}, g
+	}
+	return nil, 0
+}
+
+// expiredLocked pops lane heads whose absolute deadline has already
+// passed: starting them could only burn a reservation on work that
+// will miss its SLO, so they are shed instead (never in FIFO mode).
+func (e *Engine) expiredLocked() []*Job {
+	if e.opt.FIFO {
 		return nil
 	}
-	g := e.grantLocked(e.queue[0].req(e.opt.Workers))
-	if g == 0 {
-		return nil
+	var exp []*Job
+	now := time.Now()
+	for _, q := range []*laneQueue{&e.small, &e.big} {
+		for {
+			h := q.peek()
+			if h == nil || h.deadlineAbs.IsZero() || now.Before(h.deadlineAbs) {
+				break
+			}
+			q.pop()
+			h.state = jsStarted
+			exp = append(exp, h)
+		}
 	}
-	j := e.queue[0]
-	e.queue = e.queue[1:]
-	j.granted = g
-	e.reservedInUse += g
-	return j
+	return exp
 }
 
 // grantLocked sizes a job's static share: its request capped by the
@@ -573,24 +895,71 @@ func (e *Engine) grantLocked(req int) int {
 	return g
 }
 
-// assistableLocked finds a running job whose lend hint is up and
-// borrows one of its lending slots, bounded by the pool's floater
-// share.
+// grantBigLocked is grantLocked with the big lane's bound applied:
+// while express traffic is waiting, big-lane jobs may together hold at
+// most BigShare of the reservable pool, so a stream of small jobs is
+// never head-of-line-blocked behind wide factorizations. With an empty
+// express lane the bound is lifted (work conservation).
+func (e *Engine) grantBigLocked(req int) int {
+	g := e.grantLocked(req)
+	if g == 0 || e.small.depth == 0 {
+		return g
+	}
+	bigCap := int(math.Round(e.opt.BigShare * float64(e.opt.Workers-e.floaters())))
+	if bigCap < 1 {
+		bigCap = 1
+	}
+	room := bigCap - e.bigReserved
+	if room < 1 {
+		return 0
+	}
+	if g > room {
+		g = room
+	}
+	return g
+}
+
+// assistableLocked picks the running job a floater should lend itself
+// to, bounded by the pool's floater share. Among jobs whose lend hint
+// is up, the one with the least laxity (earliest startBy — closest to
+// missing its deadline) wins; ties break toward the job with the most
+// globally poppable work (SharedBacklog), then rotor order for
+// fairness among equals.
 func (e *Engine) assistableLocked() (*Job, int) {
 	d := e.floaters()
 	if d == 0 || e.helpersOut >= d || len(e.run) == 0 {
 		return nil, 0
 	}
 	n := len(e.run)
+	type cand struct {
+		j       *Job
+		backlog int
+	}
+	var cands []cand
 	for i := 0; i < n; i++ {
-		j := e.run[(e.rotor+i)%n]
-		if !j.lendHint.Load() {
-			continue
+		if j := e.run[(e.rotor+i)%n]; j.lendHint.Load() {
+			cands = append(cands, cand{j: j})
 		}
+	}
+	if len(cands) == 0 {
+		return nil, 0
+	}
+	if len(cands) > 1 {
+		for i := range cands {
+			cands[i].backlog = cands[i].j.ex.SharedBacklog()
+		}
+		sort.SliceStable(cands, func(a, b int) bool {
+			if cands[a].j.startBy != cands[b].j.startBy {
+				return cands[a].j.startBy < cands[b].j.startBy
+			}
+			return cands[a].backlog > cands[b].backlog
+		})
+	}
+	for _, c := range cands {
 		select {
-		case s := <-j.helperSlots:
-			e.rotor = (e.rotor + i + 1) % n
-			return j, s
+		case s := <-c.j.helperSlots:
+			e.rotor = (e.rotor + 1) % n
+			return c.j, s
 		default:
 		}
 	}
@@ -638,7 +1007,25 @@ func (j *Job) prepare(opt core.Options) (g *dag.Graph, pol sched.Policy, err err
 	}
 }
 
-// startJob runs the admitted job: it builds the job's task graph and
+// startBatch dispatches what startableLocked popped: a shed batch, a
+// solo job, or an express batch to fuse.
+func (e *Engine) startBatch(batch []*Job, grant int) {
+	if grant == grantShed {
+		for _, j := range batch {
+			j.err = fmt.Errorf("engine: deadline expired before start: %w", ErrDeadlineInfeasible)
+			e.shedCount.Add(1)
+			e.completeJob(j, false)
+		}
+		return
+	}
+	if len(batch) == 1 {
+		e.startJob(batch[0])
+		return
+	}
+	e.startFused(batch, grant)
+}
+
+// startJob runs a solo job: it builds the job's task graph and
 // executor (outside the engine lock), publishes its open seats and
 // lending slots, and the starter becomes reserved driver 0. Factor,
 // Cholesky and solve jobs all take this path — a solve is a blocked
@@ -655,6 +1042,109 @@ func (e *Engine) startJob(j *Job) {
 		e.completeJob(j, false)
 		return
 	}
+	e.launch(j, g, pol, opt)
+}
+
+// startFused runs an express batch as one composite: every member's
+// graph is built at its own small width, dag.Fuse merges them into a
+// forest with owner interleaving and per-member completion callbacks,
+// and a single engine-internal composite job drives the forest on one
+// shared reservation. Members complete individually as their subgraphs
+// drain; a member whose prepare fails is failed alone and its batch
+// mates still run.
+func (e *Engine) startFused(batch []*Job, granted int) {
+	now := time.Now()
+	parts := make([]dag.FusePart, 0, len(batch))
+	members := make([]*Job, 0, len(batch))
+	minStart := noDeadline
+	totalFlops := 0.0
+	for _, m := range batch {
+		m.role = roleMember
+		m.started = now
+		m.queueWait = now.Sub(m.queued)
+		opt := m.reqOpt
+		w := opt.Workers
+		if w <= 0 {
+			w = 1
+		}
+		if w > granted {
+			w = granted
+		}
+		opt.Workers = w
+		g, _, err := m.prepare(opt)
+		if err != nil {
+			m.err = err
+			if m.finishing.CompareAndSwap(false, true) {
+				e.completeJob(m, false)
+			}
+			continue
+		}
+		m.granted = w
+		mm := m
+		parts = append(parts, dag.FusePart{G: g, Label: mm.label(), OnDone: func() { e.finishFusedMember(mm) }})
+		members = append(members, m)
+		if m.startBy < minStart {
+			minStart = m.startBy
+		}
+		totalFlops += m.estFlops
+	}
+	if len(parts) == 0 {
+		// Every member died in prepare; give the reservation back.
+		e.mu.Lock()
+		e.reservedInUse -= granted
+		e.work.Broadcast()
+		e.mu.Unlock()
+		return
+	}
+	fused := dag.Fuse(parts...)
+	// Fold the interleaved owner space [0, sum of member widths) onto
+	// the granted seats. Policies map owners onto slots modulo the TOTAL
+	// slot count — reserved seats plus lending seats — so an owner left
+	// beyond granted would pin static tasks to a lending seat, which is
+	// only served when a floater happens to attach: the member would
+	// straggle behind whatever big job the floaters are busy with.
+	for _, t := range fused.Tasks {
+		t.Owner %= granted
+	}
+	e.fusionBatches.Add(1)
+	e.fusedJobs.Add(int64(len(members)))
+	comp := &Job{
+		role:     roleComposite,
+		lane:     laneSmall,
+		class:    core.ClassSmall,
+		granted:  granted,
+		members:  members,
+		startBy:  minStart,
+		estFlops: totalFlops,
+		queued:   now,
+		started:  now,
+		done:     make(chan struct{}),
+		finish:   func(rt.Result) {},
+	}
+	// The forest always runs under the hybrid policy: the members'
+	// graphs already carry their own static/dynamic split (shaped by
+	// each member's Scheduler choice), and hybrid's shared section is
+	// what the pool's floaters lend into.
+	e.launch(comp, fused.Graph, sched.NewHybrid(), core.Options{})
+}
+
+// finishFusedMember completes one member of a fused composite, called
+// from the worker goroutine that executed the member's last task. The
+// finishing CAS elects it against the composite-failure path.
+func (e *Engine) finishFusedMember(m *Job) {
+	if !m.finishing.CompareAndSwap(false, true) {
+		return
+	}
+	// Members assemble from their own graph layout; the composite's
+	// runtime counters are not attributable per member, so Makespan and
+	// Counters stay zero on fused results.
+	m.finish(rt.Result{})
+	e.completeJob(m, false)
+}
+
+// launch builds the executor for a prepared solo or composite job,
+// publishes its open seats and lending slots, and drives seat 0.
+func (e *Engine) launch(j *Job, g *dag.Graph, pol sched.Policy, opt core.Options) {
 	helpers := e.floaters()
 	ex, err := rt.NewExecutor(g, pol, rt.Options{
 		Workers:           j.granted,
@@ -714,13 +1204,39 @@ func (e *Engine) driveJob(j *Job, seat int) {
 	e.completeJob(j, true)
 }
 
-// completeJob releases the job's grant, retires it from the running
-// set, records stats and wakes submitters waiting on admission
-// capacity.
+// completeJob releases the job's share of the pool, retires it from
+// the running set, records per-class stats and wakes submitters
+// waiting on admission capacity. Role-aware: solo jobs release both
+// their reservation and their admission slot, fused members only the
+// slot (the composite holds the shared reservation), composites only
+// the reservation — and a failed composite fails every member whose
+// completion callback never fired.
 func (e *Engine) completeJob(j *Job, running bool) {
+	var orphans []*Job
 	e.mu.Lock()
-	e.reservedInUse -= j.granted
-	e.inflight--
+	j.state = jsDone
+	switch j.role {
+	case roleSolo:
+		e.reservedInUse -= j.granted
+		if j.lane == laneBig {
+			e.bigReserved -= j.granted
+		}
+		e.inflight--
+	case roleMember:
+		e.inflight--
+	case roleComposite:
+		e.reservedInUse -= j.granted
+		if j.err != nil {
+			// The forest aborted: members that never reached their
+			// OnDone inherit the composite's error. The finishing CAS
+			// excludes members completing normally right now.
+			for _, m := range j.members {
+				if m.finishing.CompareAndSwap(false, true) {
+					orphans = append(orphans, m)
+				}
+			}
+		}
+	}
 	if running {
 		for i, r := range e.run {
 			if r == j {
@@ -729,16 +1245,42 @@ func (e *Engine) completeJob(j *Job, running bool) {
 			}
 		}
 	}
+	if j.role != roleComposite {
+		idx := classIdx(j.class)
+		if j.err != nil {
+			e.classFailed[idx]++
+		} else {
+			e.classDone[idx]++
+			e.ring(idx).add(float64(time.Since(j.queued).Microseconds()) / 1e3)
+		}
+	}
+	// Fold successful solo/composite spans into the service-rate EWMA;
+	// members overlap their batch mates, so their spans would skew it.
+	if j.err == nil && j.role != roleMember && !j.started.IsZero() {
+		e.observeRateLocked(j.estFlops, time.Since(j.started))
+	}
+	stop := j.stopCancel
 	e.work.Broadcast()
 	// Exactly one admission slot was freed: wake one blocked
 	// submitter, not all of them (Close is the broadcast case).
 	e.capa.Signal()
 	e.mu.Unlock()
-	if j.err != nil {
-		e.jobsFailed.Add(1)
-	} else {
-		e.jobsDone.Add(1)
+	if stop != nil {
+		stop()
 	}
-	j.span = time.Since(j.started)
+	if j.role != roleComposite {
+		if j.err != nil {
+			e.jobsFailed.Add(1)
+		} else {
+			e.jobsDone.Add(1)
+		}
+	}
+	if !j.started.IsZero() {
+		j.span = time.Since(j.started)
+	}
 	close(j.done)
+	for _, m := range orphans {
+		m.err = j.err
+		e.completeJob(m, false)
+	}
 }

@@ -198,6 +198,19 @@ func (e *Executor) done() bool {
 	return e.failure.Load() != nil || e.completed.Load() == e.n
 }
 
+// SharedBacklog estimates how many of the run's queued tasks are
+// globally poppable — work a borrowed lending slot could execute right
+// now. The engine's lend arbitration uses it to weigh which running
+// job a floater should help: all else (laxity) equal, the job with the
+// deepest shared backlog keeps a helper busy longest. Zero once the
+// run is over.
+func (e *Executor) SharedBacklog() int {
+	if e.cp == nil || e.Done() {
+		return 0
+	}
+	return e.cp.SharedBacklog()
+}
+
 // Done reports whether the run has completed (successfully or not).
 func (e *Executor) Done() bool {
 	select {

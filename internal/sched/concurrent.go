@@ -107,6 +107,10 @@ func (p *ConcurrentStatic) Next(worker int) *dag.Task {
 	return t
 }
 
+// SharedBacklog implements ConcurrentPolicy: a fully static policy
+// exposes nothing to lending slots, so its shared backlog is always 0.
+func (p *ConcurrentStatic) SharedBacklog() int { return 0 }
+
 // Counters implements ConcurrentPolicy.
 func (p *ConcurrentStatic) Counters() Counters {
 	var c Counters
@@ -163,6 +167,15 @@ func (p *ConcurrentDynamic) Next(worker int) *dag.Task {
 		}
 	}
 	return t
+}
+
+// SharedBacklog implements ConcurrentPolicy: every queued task sits in
+// the one shared heap, so the backlog is its length.
+func (p *ConcurrentDynamic) SharedBacklog() int {
+	p.mu.Lock()
+	n := len(p.h)
+	p.mu.Unlock()
+	return n
 }
 
 // Counters implements ConcurrentPolicy.
@@ -230,6 +243,16 @@ func (p *ConcurrentHybrid) Next(worker int) *dag.Task {
 		}
 	}
 	return t
+}
+
+// SharedBacklog implements ConcurrentPolicy: only the dynamic heap is
+// globally poppable; owner-pinned static queues are invisible to
+// lending slots.
+func (p *ConcurrentHybrid) SharedBacklog() int {
+	p.mu.Lock()
+	n := len(p.dyn)
+	p.mu.Unlock()
+	return n
 }
 
 // Counters implements ConcurrentPolicy.
@@ -331,6 +354,17 @@ func (p *ConcurrentWorkStealing) Next(worker int) *dag.Task {
 	return nil
 }
 
+// SharedBacklog implements ConcurrentPolicy: every deque is stealable,
+// so the backlog is the (racy but monotonicity-free) sum of their
+// sizes.
+func (p *ConcurrentWorkStealing) SharedBacklog() int {
+	var n int64
+	for _, d := range p.deques {
+		n += d.size()
+	}
+	return int(n)
+}
+
 // Counters implements ConcurrentPolicy.
 func (p *ConcurrentWorkStealing) Counters() Counters {
 	var c Counters
@@ -380,6 +414,16 @@ func (l *lockedPolicy) Next(worker int) *dag.Task {
 	t := l.p.Next(worker)
 	l.mu.Unlock()
 	return t
+}
+
+// SharedBacklog reports the wrapped policy's whole ready count: behind
+// the global lock every queue is reachable from every worker, so all
+// queued work counts as shared.
+func (l *lockedPolicy) SharedBacklog() int {
+	l.mu.Lock()
+	n := l.p.ReadyCount()
+	l.mu.Unlock()
+	return n
 }
 
 func (l *lockedPolicy) Counters() Counters {

@@ -104,6 +104,13 @@ type ConcurrentPolicy interface {
 	Ready(worker int, t *dag.Task) int
 	// Next pops the best ready task for the given worker, or nil.
 	Next(worker int) *dag.Task
+	// SharedBacklog estimates how many queued tasks are globally
+	// poppable — visible to a borrowed lending slot, not pinned to one
+	// owner. It is a point-in-time hint for the engine's lend
+	// arbitration (which running job is worth a floater), may be
+	// slightly stale under concurrent Ready/Next traffic, and must be
+	// cheap: callers poll it while holding their own admission lock.
+	SharedBacklog() int
 	// Counters returns the instrumentation accumulated since Reset.
 	Counters() Counters
 }

@@ -43,6 +43,14 @@
 //	X, err := f.SolveMany(B, repro.Options{Workers: 4})        // one-shot
 //	job, err := eng.SubmitSolveMany(f, B, repro.Options{Workers: 4})
 //
+// Engine admission is traffic-shaped: small jobs ride an express lane
+// and are fused into one composite DAG sharing a single reservation,
+// big jobs are bounded to a share of the pool, and jobs may carry a
+// deadline (Options.Deadline) — lanes are laxity-ordered and
+// infeasible submissions are shed with ErrEngineDeadlineInfeasible
+// before queueing. SubmitFactorCtx and friends bind admission to a
+// context so queued work can be cancelled.
+//
 // See DESIGN.md for the system inventory; README.md and CHANGES.md
 // carry the measured-performance record.
 package repro
@@ -218,10 +226,34 @@ type Solvable = engine.Solvable
 // counters.
 type EngineStats = engine.Stats
 
+// JobClass labels a job for the engine's two-lane admission: small
+// jobs ride an express lane and may be fused into one composite DAG
+// sharing a single worker reservation; large jobs queue in a lane
+// bounded to a share of the pool. Set on Options.Class; ClassAuto lets
+// the engine classify by estimated flop count.
+type JobClass = core.JobClass
+
+// Job classes for Options.Class.
+const (
+	ClassAuto  = core.ClassAuto
+	ClassSmall = core.ClassSmall
+	ClassLarge = core.ClassLarge
+)
+
+// EngineClassStats is the per-class slice of EngineStats: completion
+// counts, live queue depth and recent submit-to-done latency
+// percentiles.
+type EngineClassStats = engine.ClassStats
+
 // Engine submission errors.
 var (
 	ErrEngineClosed    = engine.ErrClosed
 	ErrEngineSaturated = engine.ErrSaturated
+	// ErrEngineDeadlineInfeasible is returned (wrapped) by submissions
+	// whose Options.Deadline cannot be met even by the engine's own
+	// service-time estimate; such jobs are shed at admission without
+	// consuming a worker reservation. Detect with errors.Is.
+	ErrEngineDeadlineInfeasible = engine.ErrDeadlineInfeasible
 )
 
 // NewEngine starts a resident engine; its workers and kernel
