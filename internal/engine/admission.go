@@ -200,27 +200,98 @@ func (j *Job) fusable() bool {
 	return j.reqOpt.Trace == nil && j.reqOpt.Noise == nil
 }
 
-// ratePrior is the service-rate estimate used before any job has
-// completed: 1 flop/ns (one scalar GFLOP/s), deliberately conservative
-// so a cold engine sheds obviously-infeasible deadlines without
-// shedding plausible ones.
+// ratePrior is the service-rate estimate used before any job of a
+// class has completed: 1 flop/ns (one scalar GFLOP/s), deliberately
+// conservative so a cold engine sheds obviously-infeasible deadlines
+// without shedding plausible ones.
 const ratePrior = 1.0
 
-// estServiceLocked estimates the job's service time from the engine's
-// observed flop rate (EWMA over completed jobs, Engine.mu held).
-func (e *Engine) estServiceLocked(j *Job) time.Duration {
-	return time.Duration(j.estFlops / e.rate)
+// Service-rate classes. Factorizations are GEMM-bound and run near the
+// micro-kernel's flop rate; triangular solves stream the factor once
+// per right-hand side and are memory-bound, typically an order of
+// magnitude slower per flop. One shared EWMA lets whichever kind
+// dominates recent traffic corrupt the other's deadline feasibility
+// and laxity ordering, so each class keeps its own estimate.
+const (
+	rateGemm = iota // factorJob, choleskyJob
+	rateMem         // solveJob
+	numRateClasses
+)
+
+// rateClassOf maps a job kind to its service-rate class.
+func rateClassOf(k jobKind) int {
+	if k == solveJob {
+		return rateMem
+	}
+	return rateGemm
 }
 
-// observeRateLocked folds one completed job's achieved flop rate into
-// the EWMA service-rate estimate (Engine.mu held).
-func (e *Engine) observeRateLocked(flops float64, span time.Duration) {
-	if flops <= 0 || span <= 0 {
+// classFlops splits the job's estimated flops by rate class: a solo
+// job's flops all land in its kind's class, a fused composite sums its
+// members per class.
+func classFlops(j *Job) [numRateClasses]float64 {
+	var fl [numRateClasses]float64
+	if len(j.members) > 0 {
+		for _, m := range j.members {
+			fl[rateClassOf(m.kind)] += m.estFlops
+		}
+		return fl
+	}
+	fl[rateClassOf(j.kind)] = j.estFlops
+	return fl
+}
+
+// estServiceLocked estimates the job's service time from the per-class
+// observed flop rates (EWMA over completed jobs, Engine.mu held).
+// Composites add the classes' predicted times — their members run on
+// one shared reservation, so the sum is the right scale even when the
+// forest overlaps members internally.
+func (e *Engine) estServiceLocked(j *Job) time.Duration {
+	fl := classFlops(j)
+	var ns float64
+	for c, f := range fl {
+		if f > 0 {
+			ns += f / e.rates[c]
+		}
+	}
+	return time.Duration(ns)
+}
+
+// observeRateLocked folds one completed job's achieved flop rates into
+// the per-class EWMA estimates (Engine.mu held). A composite's span
+// covers work from both classes; it is attributed to them in
+// proportion to the current model's predicted shares, so each class's
+// estimate is updated with a span consistent with what it was blamed
+// for at admission time.
+func (e *Engine) observeRateLocked(j *Job, span time.Duration) {
+	if span <= 0 {
 		return
 	}
-	obs := flops / float64(span.Nanoseconds())
+	fl := classFlops(j)
+	var pred [numRateClasses]float64
+	var predTotal float64
+	for c, f := range fl {
+		if f > 0 {
+			pred[c] = f / e.rates[c]
+			predTotal += pred[c]
+		}
+	}
+	if predTotal <= 0 {
+		return
+	}
 	const alpha = 0.25
-	e.rate = (1-alpha)*e.rate + alpha*obs
+	ns := float64(span.Nanoseconds())
+	for c, f := range fl {
+		if f <= 0 {
+			continue
+		}
+		spanC := ns * pred[c] / predTotal
+		if spanC <= 0 {
+			continue
+		}
+		obs := f / spanC
+		e.rates[c] = (1-alpha)*e.rates[c] + alpha*obs
+	}
 }
 
 // ---------------------------------------------------------------------

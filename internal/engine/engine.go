@@ -176,8 +176,11 @@ type Engine struct {
 	helpersOut    int
 	rotor         int
 	seq           uint64
-	// rate is the EWMA service-rate estimate, flops per nanosecond.
-	rate               float64
+	// rates are the per-class EWMA service-rate estimates, flops per
+	// nanosecond, indexed by rate class (rateGemm, rateMem): factor
+	// traffic runs at GEMM speed, solve traffic at memory speed, and
+	// mixing them in one estimate would skew both (admission.go).
+	rates              [numRateClasses]float64
 	latSmall, latLarge latRing
 	// classDone/classFailed are indexed by classIdx.
 	classDone, classFailed [2]int64
@@ -200,7 +203,10 @@ func New(opt Options) (*Engine, error) {
 	if err := opt.fill(); err != nil {
 		return nil, err
 	}
-	e := &Engine{opt: opt, rate: ratePrior}
+	e := &Engine{opt: opt}
+	for c := range e.rates {
+		e.rates[c] = ratePrior
+	}
 	e.work = sync.NewCond(&e.mu)
 	e.capa = sync.NewCond(&e.mu)
 	// One refcounted pool-wide reservation: at most Workers goroutines
@@ -1254,10 +1260,11 @@ func (e *Engine) completeJob(j *Job, running bool) {
 			e.ring(idx).add(float64(time.Since(j.queued).Microseconds()) / 1e3)
 		}
 	}
-	// Fold successful solo/composite spans into the service-rate EWMA;
-	// members overlap their batch mates, so their spans would skew it.
+	// Fold successful solo/composite spans into the per-class
+	// service-rate EWMAs; members overlap their batch mates, so their
+	// spans would skew it.
 	if j.err == nil && j.role != roleMember && !j.started.IsZero() {
-		e.observeRateLocked(j.estFlops, time.Since(j.started))
+		e.observeRateLocked(j, time.Since(j.started))
 	}
 	stop := j.stopCancel
 	e.work.Broadcast()

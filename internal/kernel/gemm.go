@@ -12,6 +12,7 @@ import "fmt"
 // exact-arithmetic equivalents up to floating-point reassociation;
 // GemmNaive is retained as the correctness oracle.
 func Gemm(c, a, b View) {
+	ensureTuned()
 	m, n, k := c.Rows, c.Cols, a.Cols
 	if a.Rows != m || b.Rows != k || b.Cols != n {
 		panic(fmt.Sprintf("kernel: gemm shape mismatch C %dx%d, A %dx%d, B %dx%d",
@@ -33,6 +34,7 @@ func Gemm(c, a, b View) {
 // lower triangle blockwise). It shares the packed path with Gemm; only
 // the B packing reads transposed.
 func GemmNT(c, a, b View) {
+	ensureTuned()
 	m, n, k := c.Rows, c.Cols, a.Cols
 	if a.Rows != m || b.Rows != n || b.Cols != k {
 		panic(fmt.Sprintf("kernel: gemmNT shape mismatch C %dx%d, A %dx%d, B %dx%d",
@@ -61,11 +63,11 @@ func gemmPacked(c, a, b View, bTrans bool) {
 		ncLen := min(nc, n-jc)
 		for pc := 0; pc < k; pc += kc {
 			kcLen := min(kc, k-pc)
-			packB(ws.bp, b, pc, jc, kcLen, ncLen, bTrans)
+			packB(ws.bp, b, pc, jc, kcLen, ncLen, bTrans, nr)
 			for ic := 0; ic < m; ic += mc {
 				mcLen := min(mc, m-ic)
-				packA(ws.ap, a, ic, pc, mcLen, kcLen)
-				macroKernel(c, ws, ic, jc, mcLen, ncLen, kcLen)
+				packA(ws.ap, a, ic, pc, mcLen, kcLen, mr)
+				macroKernel(c, ws.ap, ws.bp, ic, jc, mcLen, ncLen, kcLen)
 			}
 		}
 	}
@@ -73,15 +75,17 @@ func gemmPacked(c, a, b View, bTrans bool) {
 
 // macroKernel sweeps mr x nr register tiles over one packed (A, B)
 // block pair, subtracting each micro-kernel result into C. Edge tiles
-// are computed at full padded width and masked at write-back.
-func macroKernel(c View, ws *workspace, ic, jc, mcLen, ncLen, kcLen int) {
+// are computed at full padded width and masked at write-back. The
+// packed buffers are passed explicitly so the shared-panel path
+// (panelcache.go) can stream B from a cached buffer.
+func macroKernel(c View, ap, bp []float64, ic, jc, mcLen, ncLen, kcLen int) {
 	var acc [maxMR * maxNR]float64
 	for jr := 0; jr < ncLen; jr += nr {
 		nrLen := min(nr, ncLen-jr)
-		bpPanel := ws.bp[(jr/nr)*kcLen*nr:]
+		bpPanel := bp[(jr/nr)*kcLen*nr:]
 		for ir := 0; ir < mcLen; ir += mr {
 			mrLen := min(mr, mcLen-ir)
-			apPanel := ws.ap[(ir/mr)*kcLen*mr:]
+			apPanel := ap[(ir/mr)*kcLen*mr:]
 			microKernel(kcLen, apPanel, bpPanel, acc[:])
 			storeTile(c, ic+ir, jc+jr, mrLen, nrLen, acc[:])
 		}

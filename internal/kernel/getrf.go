@@ -53,6 +53,7 @@ func (e *SingularError) Error() string {
 // convention. On an exactly singular pivot column it returns a
 // *SingularError carrying the established prefix length.
 func Getrf(a View, piv []int) error {
+	ensureTuned()
 	m, n := a.Rows, a.Cols
 	steps := min(m, n)
 	if len(piv) < steps {
@@ -61,8 +62,8 @@ func Getrf(a View, piv []int) error {
 	if useNaiveKernels || !panelBlockedWorthwhile(m, n) {
 		return Getf2(a, piv)
 	}
-	for j0 := 0; j0 < steps; j0 += mr {
-		w := min(mr, steps-j0)
+	for j0 := 0; j0 < steps; j0 += pmr {
+		w := min(pmr, steps-j0)
 		micro := a.Sub(j0, m, j0, j0+w)
 		if err := getf2Micro(micro, piv[j0:j0+w]); err != nil {
 			se := err.(*SingularError)
@@ -110,7 +111,7 @@ func Getrf(a View, piv []int) error {
 	return nil
 }
 
-// getf2Micro factors the m x w micro-panel (w = a.Cols <= mr <= m) in
+// getf2Micro factors the m x w micro-panel (w = a.Cols <= pmr <= m) in
 // place, unblocked right-looking like Getf2 but with an unrolled
 // two-pass pivot search and 4-way unrolled scale/update loops. piv
 // receives w local pivot rows. On a zero pivot column it returns a
@@ -138,12 +139,17 @@ func getf2Micro(a View, piv []int) error {
 }
 
 // idamaxRange returns the index of the first occurrence of the maximum
-// |col[i]| over i in [k, m), and that maximum. The two-pass shape — an
-// unrolled max reduction, then a scan for its first hit — keeps the hot
-// pass branch-light while reproducing exactly the first-strict-max
-// semantics of the scalar scan in Getf2 (NaNs lose every comparison in
-// both formulations).
-func idamaxRange(col []float64, k, m int) (int, float64) {
+// |col[i]| over i in [k, m), and that maximum. Overridden with an AVX2
+// VMAXPD+mask variant on amd64 (idamax_amd64.go) that preserves the
+// same first-max/NaN semantics exactly.
+var idamaxRange = idamaxRangeGeneric
+
+// idamaxRangeGeneric is the portable two-pass search — an unrolled max
+// reduction, then a scan for its first hit — which keeps the hot pass
+// branch-light while reproducing exactly the first-strict-max semantics
+// of the scalar scan in Getf2 (NaNs lose every comparison in both
+// formulations).
+func idamaxRangeGeneric(col []float64, k, m int) (int, float64) {
 	vmax := math.Abs(col[k])
 	i := k + 1
 	// Strict > comparisons (not math.Max) so NaNs lose every contest,
@@ -224,52 +230,54 @@ func rank1SubGeneric(c, l []float64, u float64) {
 }
 
 // panelUpdate computes C -= A*B where A is m x w, B w x n, C m x n and
-// w <= mr, applying the w rank-1 steps to each element sequentially in
+// w <= pmr, applying the w rank-1 steps to each element sequentially in
 // ascending k order (never as an accumulated dot product), which keeps
 // the blocked factorization bit-identical to Getf2. A and B are packed
 // into the GEMM workspace formats so the register-tiled panel kernel
-// streams mr x nr tiles of C with unit stride.
+// streams pmr x pnr tiles of C with unit stride. The panel tile is
+// fixed per platform (see tuning.go) — the tuner moves only the GEMM
+// tile, so the bit-identity contract never depends on the profile.
 func panelUpdate(c, a, b View) {
 	m, n, w := c.Rows, c.Cols, a.Cols
 	ws := getWorkspace()
 	defer putWorkspace(ws)
 	for jc := 0; jc < n; jc += nc {
 		ncLen := min(nc, n-jc)
-		packB(ws.bp, b, 0, jc, w, ncLen, false)
+		packB(ws.bp, b, 0, jc, w, ncLen, false, pnr)
 		for ic := 0; ic < m; ic += mc {
 			mcLen := min(mc, m-ic)
-			packA(ws.ap, a, ic, 0, mcLen, w)
+			packA(ws.ap, a, ic, 0, mcLen, w, pmr)
 			panelMacro(c, ws, ic, jc, mcLen, ncLen, w)
 		}
 	}
 }
 
-// panelMacro sweeps mr x nr register tiles of C over one packed (A, B)
-// block pair. Interior tiles go straight to the panel kernel; edge
-// tiles are staged through a dense scratch tile (ldc = mr) so the
+// panelMacro sweeps pmr x pnr register tiles of C over one packed
+// (A, B) block pair. Interior tiles go straight to the panel kernel;
+// edge tiles are staged through a dense scratch tile (ldc = pmr) so the
 // kernel never branches on shape — padded packed lanes contribute
 // exact zero updates and are masked at write-back.
 func panelMacro(c View, ws *workspace, ic, jc, mcLen, ncLen, w int) {
 	var scratch [maxMR * maxNR]float64
-	for jr := 0; jr < ncLen; jr += nr {
-		nrLen := min(nr, ncLen-jr)
-		bp := ws.bp[(jr/nr)*w*nr:]
-		for ir := 0; ir < mcLen; ir += mr {
-			mrLen := min(mr, mcLen-ir)
-			ap := ws.ap[(ir/mr)*w*mr:]
-			if mrLen == mr && nrLen == nr {
+	for jr := 0; jr < ncLen; jr += pnr {
+		nrLen := min(pnr, ncLen-jr)
+		bp := ws.bp[(jr/pnr)*w*pnr:]
+		for ir := 0; ir < mcLen; ir += pmr {
+			mrLen := min(pmr, mcLen-ir)
+			ap := ws.ap[(ir/pmr)*w*pmr:]
+			if mrLen == pmr && nrLen == pnr {
 				off := (jc+jr)*c.Stride + ic + ir
 				panelKernel(w, ap, bp, c.Data[off:], c.Stride)
 				continue
 			}
 			for j := 0; j < nrLen; j++ {
 				off := (jc+jr+j)*c.Stride + ic + ir
-				copy(scratch[j*mr:j*mr+mrLen], c.Data[off:off+mrLen])
+				copy(scratch[j*pmr:j*pmr+mrLen], c.Data[off:off+mrLen])
 			}
-			panelKernel(w, ap, bp, scratch[:], mr)
+			panelKernel(w, ap, bp, scratch[:], pmr)
 			for j := 0; j < nrLen; j++ {
 				off := (jc+jr+j)*c.Stride + ic + ir
-				copy(c.Data[off:off+mrLen], scratch[j*mr:j*mr+mrLen])
+				copy(c.Data[off:off+mrLen], scratch[j*pmr:j*pmr+mrLen])
 			}
 		}
 	}

@@ -1,0 +1,72 @@
+// AVX2 pivot-search helpers: vectorized abs-max reduction and
+// first-equal scan. See idamax_amd64.go for the NaN semantics.
+
+#include "textflag.h"
+
+// func maxAbsAVX2(n int, x *float64) float64
+//
+// Max of |x[i]| over i in [0, n); n is a positive multiple of 4.
+// Four lanes accumulate with VMAXPD keeping the accumulator in the
+// NaN-wins source slot (acc starts at 0 and never goes NaN), then the
+// lanes are reduced with the same ordering.
+TEXT ·maxAbsAVX2(SB), NOSPLIT, $0-24
+	MOVQ n+0(FP), CX
+	MOVQ x+8(FP), SI
+
+	MOVQ         $0x7FFFFFFFFFFFFFFF, AX
+	MOVQ         AX, X2
+	VPBROADCASTQ X2, Y2 // abs mask
+	VXORPD       Y0, Y0, Y0
+
+maxloop:
+	VMOVUPD (SI), Y1
+	VANDPD  Y2, Y1, Y1
+	VMAXPD  Y0, Y1, Y0 // acc = max(cand, acc); NaN cand loses
+	ADDQ    $32, SI
+	SUBQ    $4, CX
+	JNZ     maxloop
+
+	VEXTRACTF128 $1, Y0, X1
+	VMAXPD       X0, X1, X0
+	VPERMILPD    $1, X0, X1
+	VMAXSD       X0, X1, X0
+	VMOVSD       X0, ret+16(FP)
+	VZEROUPPER
+	RET
+
+// func findAbsAVX2(n int, x *float64, target float64) int
+//
+// First i in [0, n) with |x[i]| == target (ordered compare), or -1.
+// n is a positive multiple of 4.
+TEXT ·findAbsAVX2(SB), NOSPLIT, $0-32
+	MOVQ         n+0(FP), CX
+	MOVQ         x+8(FP), SI
+	VBROADCASTSD target+16(FP), Y3
+
+	MOVQ         $0x7FFFFFFFFFFFFFFF, AX
+	MOVQ         AX, X2
+	VPBROADCASTQ X2, Y2 // abs mask
+	XORQ         DX, DX
+
+findloop:
+	VMOVUPD   (SI), Y1
+	VANDPD    Y2, Y1, Y1
+	VCMPPD    $0, Y3, Y1, Y1 // EQ_OQ: NaNs fail, Inf == Inf holds
+	VMOVMSKPD Y1, AX
+	TESTL     AX, AX
+	JNZ       found
+	ADDQ      $32, SI
+	ADDQ      $4, DX
+	SUBQ      $4, CX
+	JNZ       findloop
+
+	MOVQ $-1, ret+24(FP)
+	VZEROUPPER
+	RET
+
+found:
+	BSFL AX, AX
+	ADDQ AX, DX
+	MOVQ DX, ret+24(FP)
+	VZEROUPPER
+	RET

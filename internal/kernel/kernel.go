@@ -104,6 +104,7 @@ func Getf2(a View, piv []int) error {
 // singular pivot column as a *SingularError carrying the established
 // prefix length; piv[0:K] is valid on return.
 func RecursiveLU(a View, piv []int) error {
+	ensureTuned()
 	m, n := a.Rows, a.Cols
 	steps := min(m, n)
 	if steps <= panelCrossover {
@@ -193,13 +194,14 @@ func LaswpInverse(v View, piv []int, k0, k1 int) {
 // amortize packing ride the same micro-panel + register-tiled sweep as
 // Getrf, bit-identical to the unblocked scalar loop.
 func GetrfNoPiv(a View) error {
+	ensureTuned()
 	m, n := a.Rows, a.Cols
 	steps := min(m, n)
 	if useNaiveKernels || !panelBlockedWorthwhile(m, steps) {
 		return getrfNoPivUnblocked(a, 0)
 	}
-	for j0 := 0; j0 < steps; j0 += mr {
-		w := min(mr, steps-j0)
+	for j0 := 0; j0 < steps; j0 += pmr {
+		w := min(pmr, steps-j0)
 		if err := getrfNoPivUnblocked(a.Sub(j0, m, j0, j0+w), j0); err != nil {
 			return err
 		}

@@ -1,18 +1,29 @@
 package kernel
 
-// The AVX2+FMA micro-kernel computes an 8x4 register tile: eight
-// 256-bit accumulators (two YMM registers per C column), two packed-A
-// vector loads and four B broadcasts per k-step — 8 FMAs, i.e. 64
-// flops, per iteration. That is the shape that saturates the two FMA
-// ports of every AVX2 core, which scalar Go code cannot do (the
-// compiler has no auto-vectorizer and at most ~2 flops/cycle).
+// The AVX2+FMA micro-kernels compute 8-row register tiles:
 //
-// Selection happens at init: if the CPU lacks AVX2, FMA or OS AVX
-// state support, the portable 4x4 kernel stays active and the packed
-// formats shrink with it (mr is a variable, see tuning.go).
+//   - 8x4: eight 256-bit accumulators (two YMM registers per C column),
+//     two packed-A vector loads and four B broadcasts per k-step —
+//     8 FMAs, i.e. 64 flops, per iteration.
+//   - 8x6: twelve accumulators over six C columns — 12 FMAs, 96 flops,
+//     per iteration, with a better FMA-to-load ratio (12:8 vs 8:6) that
+//     keeps both FMA ports fed on cores where the 8x4 tile stalls on
+//     broadcast traffic. It uses all sixteen YMM registers.
+//
+// Scalar Go code cannot reach either shape (the compiler has no
+// auto-vectorizer and at most ~2 flops/cycle).
+//
+// Selection: if the CPU lacks AVX2, FMA or OS AVX state support, the
+// portable 4x4 kernel stays active and the packed formats shrink with
+// it. Otherwise init installs 8x4 as the static default (the pre-tuner
+// behaviour, and what HSD_TUNE=off pins) and registers both vector
+// kernels for the autotuner to bench against each other (tuner.go).
 
 //go:noescape
 func microKernel8x4FMA(kk int, ap, bp, acc *float64)
+
+//go:noescape
+func microKernel8x6FMA(kk int, ap, bp, acc *float64)
 
 // cpuSupportsAVX2FMA reports AVX2+FMA with OS-enabled YMM state
 // (CPUID leaves 1 and 7 plus XGETBV), implemented in assembly to avoid
@@ -23,10 +34,14 @@ func init() {
 	if cpuSupportsAVX2FMA() {
 		mr, nr = 8, 4
 		microKernel = microAVX2
+		microImpls["avx2-8x4"] = microImpl{name: "avx2-8x4", mr: 8, nr: 4, fn: microAVX2}
+		microImpls["avx2-8x6"] = microImpl{name: "avx2-8x6", mr: 8, nr: 6, fn: microAVX2x6}
+		defaultKernelName = "avx2-8x4"
 	}
 }
 
-// microAVX2 adapts the assembly kernel to the microKernel signature.
+// microAVX2 adapts the 8x4 assembly kernel to the microKernel
+// signature.
 func microAVX2(kk int, ap, bp, acc []float64) {
 	if kk == 0 {
 		for i := range acc[:32] {
@@ -35,4 +50,15 @@ func microAVX2(kk int, ap, bp, acc []float64) {
 		return
 	}
 	microKernel8x4FMA(kk, &ap[0], &bp[0], &acc[0])
+}
+
+// microAVX2x6 adapts the 8x6 assembly kernel.
+func microAVX2x6(kk int, ap, bp, acc []float64) {
+	if kk == 0 {
+		for i := range acc[:48] {
+			acc[i] = 0
+		}
+		return
+	}
+	microKernel8x6FMA(kk, &ap[0], &bp[0], &acc[0])
 }

@@ -1,0 +1,292 @@
+package kernel
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// The shared packed-B-panel cache. Every trailing-update task of a
+// factorization step consumes the same U block column (and every
+// right-hand-side update of a solve sweep the same X block row): under
+// the plain Gemm path each of those tasks re-packs the identical B
+// operand into its private workspace. A SharedBPanel lets the DAG
+// builder hand all consumers of one B operand a single refcounted
+// packed buffer: the first task to run packs it (pack-once-then-stream,
+// the discipline the HiGHS hybrid factorization demonstrates), later
+// tasks stream it directly, and the last use frees it.
+//
+// Budget: cached panels are accounted against a byte budget that scales
+// with the pool-wide kernel.Reserve sum (pcSetSlots, called by
+// Reserve/Release), so a resident engine with more workers may cache
+// more panels. When the budget is exhausted — or HSD_PANEL_CACHE=off —
+// a panel falls back to the private packing path, which is bit-identical
+// (same packed bytes, same loop order, same micro-kernel), so hit and
+// miss paths cannot diverge numerically.
+//
+// Lifecycle: the builder knows the exact consumer count, so the
+// refcount is exact and the normal path frees the buffer on the last
+// Gemm. Aborted runs (a task panicked, the executor stopped scheduling)
+// leave the count above zero; the executor calls Graph.ReleasePanels →
+// ForceFree after the workers drain, so no budget leaks.
+
+// PanelKey identifies one packed B operand: the factorization epoch
+// (one per built graph, so concurrent factorizations never collide),
+// the consuming block column, and the k-step whose update reads it.
+type PanelKey struct {
+	Epoch uint64
+	Col   int
+	Step  int
+}
+
+// panelEpoch hands out factorization epochs for PanelKeys.
+var panelEpoch atomic.Uint64
+
+// NewEpoch allocates a fresh factorization epoch. DAG builders call it
+// once per graph so panels of concurrent factorizations are distinct.
+func NewEpoch() uint64 { return panelEpoch.Add(1) }
+
+const (
+	// panelCacheBase is the byte budget available with no reservations
+	// (one-shot runs before Reserve, tests).
+	panelCacheBase = 8 << 20
+	// panelCachePerSlot is the additional budget per reserved workspace
+	// slot — roughly four 256x256 packed panels per worker.
+	panelCachePerSlot = 1 << 20
+)
+
+// panelCacheOff pins every SharedBPanel to the private path (A/B
+// comparisons, pathological memory pressure).
+var panelCacheOff = os.Getenv("HSD_PANEL_CACHE") == "off"
+
+var (
+	pcMu     sync.Mutex
+	pcBudget int64 = panelCacheBase
+	pcUsed   int64
+	pcPacks  int64 // first-consumer packings
+	pcHits   int64 // later consumers streaming a cached panel
+	pcMisses int64 // private-path fallbacks (denied or disabled)
+	pcDenied int64 // budget denials
+)
+
+// pcSetSlots recomputes the byte budget from the pool-wide workspace
+// reservation sum; Reserve and Release call it outside wsMu.
+func pcSetSlots(slots int) {
+	pcMu.Lock()
+	if panelCacheOff {
+		pcBudget = 0
+	} else {
+		pcBudget = panelCacheBase + int64(slots)*panelCachePerSlot
+	}
+	pcMu.Unlock()
+}
+
+// PanelCacheStats is a snapshot of the cache counters, for tests,
+// benchmarks and debugging.
+type PanelCacheStats struct {
+	Packs, Hits, Misses, Denied int64
+	UsedBytes, BudgetBytes      int64
+}
+
+// ReadPanelCacheStats returns the current counters.
+func ReadPanelCacheStats() PanelCacheStats {
+	pcMu.Lock()
+	defer pcMu.Unlock()
+	return PanelCacheStats{
+		Packs: pcPacks, Hits: pcHits, Misses: pcMisses, Denied: pcDenied,
+		UsedBytes: pcUsed, BudgetBytes: pcBudget,
+	}
+}
+
+// panelSeg locates one (jc, pc) packed block inside the shared buffer,
+// mirroring gemmPacked's loop order exactly.
+type panelSeg struct {
+	jc, pc, off int
+}
+
+// SharedBPanel is one refcounted packed B operand shared by the update
+// tasks of a factorization or solve step. Built by the DAG builder with
+// the exact consumer count; each consumer calls Gemm exactly once,
+// which decrements the count, and the last call frees the buffer. A nil
+// *SharedBPanel is valid and degrades to the plain kernel.Gemm path.
+type SharedBPanel struct {
+	// Key identifies the panel for debugging and traces.
+	Key PanelKey
+
+	initUses int64
+	uses     atomic.Int64
+
+	mu     sync.Mutex // guards the fields below
+	packed bool
+	denied bool // budget denial is sticky until Reset
+	buf    []float64
+	segs   []panelSeg
+	bytes  int64
+	k, n   int
+}
+
+// NewSharedBPanel creates a panel expected to be consumed by `uses`
+// Gemm calls. With fewer than two consumers there is nothing to share
+// and nil is returned (the nil receiver runs the plain path).
+func NewSharedBPanel(key PanelKey, uses int) *SharedBPanel {
+	if uses < 2 {
+		return nil
+	}
+	p := &SharedBPanel{Key: key, initUses: int64(uses)}
+	p.uses.Store(p.initUses)
+	return p
+}
+
+// Reset re-arms the panel for another execution of its graph: any
+// cached buffer is returned to the budget, denial is forgotten and the
+// refcount is restored. Must not run concurrently with consumers.
+func (p *SharedBPanel) Reset() {
+	if p == nil {
+		return
+	}
+	p.freeBuf()
+	p.mu.Lock()
+	p.denied = false
+	p.mu.Unlock()
+	p.uses.Store(p.initUses)
+}
+
+// ForceFree drops any cached buffer regardless of the remaining use
+// count — executor teardown for aborted runs, where some consumers
+// never executed. Idempotent; the normal last-use free makes it a
+// no-op on clean runs.
+func (p *SharedBPanel) ForceFree() {
+	if p == nil {
+		return
+	}
+	p.freeBuf()
+}
+
+// Gemm computes C -= A * B like kernel.Gemm, streaming the shared
+// packed B on a hit and falling back to the private packed path
+// otherwise. Every path dispatches exactly as kernel.Gemm does, so the
+// result is bit-identical whether or not the panel was cached.
+func (p *SharedBPanel) Gemm(c, a, b View) {
+	if p == nil {
+		Gemm(c, a, b)
+		return
+	}
+	ensureTuned()
+	m, n, k := c.Rows, c.Cols, a.Cols
+	if a.Rows != m || b.Rows != k || b.Cols != n {
+		panic(fmt.Sprintf("kernel: gemm shape mismatch C %dx%d, A %dx%d, B %dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	defer p.release()
+	if useNaiveKernels {
+		gemmNaive(c, a, b)
+		return
+	}
+	if !packedWorthwhile(m, n, k) {
+		gemmSmall(c, a, b, false)
+		return
+	}
+	if p.ensurePacked(b) {
+		gemmPackedSharedB(c, a, p)
+		return
+	}
+	gemmPacked(c, a, b, false)
+}
+
+// release consumes one use; the last one frees the cached buffer.
+func (p *SharedBPanel) release() {
+	if p.uses.Add(-1) == 0 {
+		p.freeBuf()
+	}
+}
+
+func (p *SharedBPanel) freeBuf() {
+	p.mu.Lock()
+	if p.packed {
+		p.packed = false
+		p.buf, p.segs = nil, nil
+		pcMu.Lock()
+		pcUsed -= p.bytes
+		pcMu.Unlock()
+		p.bytes = 0
+	}
+	p.mu.Unlock()
+}
+
+// ensurePacked returns true with the shared buffer ready (packing it on
+// the first call), or false when the byte budget denies the panel —
+// the caller then packs privately. Concurrent consumers serialize here:
+// the first packs while the rest wait, then all stream the same bytes.
+func (p *SharedBPanel) ensurePacked(b View) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.packed {
+		pcMu.Lock()
+		pcHits++
+		pcMu.Unlock()
+		return true
+	}
+	if p.denied {
+		pcMu.Lock()
+		pcMisses++
+		pcMu.Unlock()
+		return false
+	}
+	k, n := b.Rows, b.Cols
+	var segs []panelSeg
+	total := 0
+	for jc := 0; jc < n; jc += nc {
+		ncLen := min(nc, n-jc)
+		padded := (ncLen + nr - 1) / nr * nr
+		for pc := 0; pc < k; pc += kc {
+			kcLen := min(kc, k-pc)
+			segs = append(segs, panelSeg{jc: jc, pc: pc, off: total})
+			total += padded * kcLen
+		}
+	}
+	bytes := int64(total) * 8
+	pcMu.Lock()
+	if pcUsed+bytes > pcBudget {
+		pcDenied++
+		pcMisses++
+		pcMu.Unlock()
+		p.denied = true
+		return false
+	}
+	pcUsed += bytes
+	pcPacks++
+	pcMu.Unlock()
+	buf := make([]float64, total)
+	for _, s := range segs {
+		packB(buf[s.off:], b, s.pc, s.jc, min(kc, k-s.pc), min(nc, n-s.jc), false, nr)
+	}
+	p.buf, p.segs, p.bytes = buf, segs, bytes
+	p.k, p.n = k, n
+	p.packed = true
+	return true
+}
+
+// gemmPackedSharedB is gemmPacked with the B packing elided: the same
+// jc/pc/ic loop nest and the same macro-kernel, but the B panel comes
+// from the shared buffer. A is still packed privately per caller — the
+// A operand differs across the sharing tasks, only B is common.
+func gemmPackedSharedB(c, a View, p *SharedBPanel) {
+	m := c.Rows
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	si := 0
+	for jc := 0; jc < p.n; jc += nc {
+		ncLen := min(nc, p.n-jc)
+		for pc := 0; pc < p.k; pc += kc {
+			kcLen := min(kc, p.k-pc)
+			bp := p.buf[p.segs[si].off:]
+			si++
+			for ic := 0; ic < m; ic += mc {
+				mcLen := min(mc, m-ic)
+				packA(ws.ap, a, ic, pc, mcLen, kcLen, mr)
+				macroKernel(c, ws.ap, bp, ic, jc, mcLen, ncLen, kcLen)
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package kernel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// pcState snapshots the cache counters so tests can assert deltas
+// (the counters are process-global and accumulate across tests).
+func pcState() PanelCacheStats { return ReadPanelCacheStats() }
+
+// setPanelBudget pins the byte budget for one test and restores it.
+func setPanelBudget(t *testing.T, budget int64) {
+	t.Helper()
+	pcMu.Lock()
+	old := pcBudget
+	pcBudget = budget
+	pcMu.Unlock()
+	t.Cleanup(func() {
+		pcMu.Lock()
+		pcBudget = old
+		pcMu.Unlock()
+	})
+}
+
+// sharedGemmCase is one consumer set: `uses` distinct (C, A) pairs all
+// multiplying by the same B, the shape the DAG builders create.
+type sharedGemmCase struct {
+	b      View
+	as, cs []View
+}
+
+func newSharedGemmCase(rng *rand.Rand, m, n, k, uses int) sharedGemmCase {
+	sc := sharedGemmCase{b: randView(rng, k, n)}
+	for i := 0; i < uses; i++ {
+		sc.as = append(sc.as, randView(rng, m, k))
+		sc.cs = append(sc.cs, randView(rng, m, n))
+	}
+	return sc
+}
+
+// want runs the plain Gemm path over clones and returns the expected
+// results.
+func (sc sharedGemmCase) want() []View {
+	out := make([]View, len(sc.cs))
+	for i := range sc.cs {
+		out[i] = cloneView(sc.cs[i])
+		Gemm(out[i], sc.as[i], sc.b)
+	}
+	return out
+}
+
+// TestSharedBPanelHitBitIdentical: consumers streaming the shared
+// packed B must produce results EXACTLY equal to the private path —
+// same packed bytes, same loop order, same micro-kernel — so cache hit
+// and miss cannot diverge numerically.
+func TestSharedBPanelHitBitIdentical(t *testing.T) {
+	ensureTuned()
+	rng := rand.New(rand.NewSource(21))
+	for _, shape := range [][4]int{{64, 64, 64, 3}, {150, 117, 93, 4}, {40, 700, 520, 2}} {
+		m, n, k, uses := shape[0], shape[1], shape[2], shape[3]
+		sc := newSharedGemmCase(rng, m, n, k, uses)
+		want := sc.want()
+		before := pcState()
+		p := NewSharedBPanel(PanelKey{Epoch: NewEpoch(), Col: 1}, uses)
+		if p == nil {
+			t.Fatal("NewSharedBPanel returned nil for uses >= 2")
+		}
+		for i := range sc.cs {
+			p.Gemm(sc.cs[i], sc.as[i], sc.b)
+		}
+		for i := range sc.cs {
+			if d := maxAbsDiffBacking(sc.cs[i], want[i]); d != 0 {
+				t.Fatalf("shape %v consumer %d: shared path diverges, max |diff| = %g (want exactly 0)", shape, i, d)
+			}
+		}
+		after := pcState()
+		if after.Packs != before.Packs+1 {
+			t.Errorf("shape %v: packs %d -> %d, want exactly one shared packing", shape, before.Packs, after.Packs)
+		}
+		if after.Hits != before.Hits+int64(uses-1) {
+			t.Errorf("shape %v: hits %d -> %d, want %d streaming consumers", shape, before.Hits, after.Hits, uses-1)
+		}
+		if after.UsedBytes != before.UsedBytes {
+			t.Errorf("shape %v: used bytes leaked: %d -> %d", shape, before.UsedBytes, after.UsedBytes)
+		}
+	}
+}
+
+// TestSharedBPanelDeniedFallsBack: under a budget too small for the
+// panel, every consumer takes the private path and the results are
+// still exact; the denial is counted once and is sticky until Reset.
+func TestSharedBPanelDeniedFallsBack(t *testing.T) {
+	ensureTuned()
+	setPanelBudget(t, 64) // bytes; any real panel exceeds this
+	rng := rand.New(rand.NewSource(22))
+	sc := newSharedGemmCase(rng, 96, 96, 96, 3)
+	want := sc.want()
+	before := pcState()
+	p := NewSharedBPanel(PanelKey{Epoch: NewEpoch(), Col: 2}, 3)
+	for i := range sc.cs {
+		p.Gemm(sc.cs[i], sc.as[i], sc.b)
+	}
+	for i := range sc.cs {
+		if d := maxAbsDiffBacking(sc.cs[i], want[i]); d != 0 {
+			t.Fatalf("consumer %d: denied path diverges, max |diff| = %g", i, d)
+		}
+	}
+	after := pcState()
+	if got := after.Denied - before.Denied; got != 1 {
+		t.Errorf("denials = %d, want 1 (sticky after the first)", got)
+	}
+	if got := after.Misses - before.Misses; got != 3 {
+		t.Errorf("misses = %d, want one per consumer (3)", got)
+	}
+	if after.UsedBytes != before.UsedBytes {
+		t.Errorf("denied panel changed used bytes: %d -> %d", before.UsedBytes, after.UsedBytes)
+	}
+}
+
+// TestSharedBPanelConcurrent exercises the pack-once race under -race:
+// all consumers run at once, the first to arrive packs while the rest
+// block, and every result must equal the serial plain-Gemm oracle.
+func TestSharedBPanelConcurrent(t *testing.T) {
+	ensureTuned()
+	rng := rand.New(rand.NewSource(23))
+	const uses = 8
+	sc := newSharedGemmCase(rng, 120, 96, 80, uses)
+	want := sc.want()
+	p := NewSharedBPanel(PanelKey{Epoch: NewEpoch(), Col: 3}, uses)
+	var wg sync.WaitGroup
+	for i := 0; i < uses; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.Gemm(sc.cs[i], sc.as[i], sc.b)
+		}(i)
+	}
+	wg.Wait()
+	for i := range sc.cs {
+		if d := maxAbsDiffBacking(sc.cs[i], want[i]); d != 0 {
+			t.Fatalf("concurrent consumer %d diverges: max |diff| = %g", i, d)
+		}
+	}
+	if s := pcState(); s.UsedBytes < 0 {
+		t.Fatalf("negative used bytes %d after concurrent run", s.UsedBytes)
+	}
+}
+
+// TestSharedBPanelLifecycle covers the refcount free, ForceFree
+// idempotence and Reset re-arming.
+func TestSharedBPanelLifecycle(t *testing.T) {
+	ensureTuned()
+	rng := rand.New(rand.NewSource(24))
+	sc := newSharedGemmCase(rng, 64, 64, 64, 2)
+	before := pcState()
+	p := NewSharedBPanel(PanelKey{Epoch: NewEpoch(), Col: 4}, 2)
+
+	p.Gemm(cloneView(sc.cs[0]), sc.as[0], sc.b)
+	if s := pcState(); s.UsedBytes <= before.UsedBytes {
+		t.Fatal("first consumer did not charge the budget")
+	}
+	p.Gemm(cloneView(sc.cs[1]), sc.as[1], sc.b)
+	if s := pcState(); s.UsedBytes != before.UsedBytes {
+		t.Fatalf("last consumer did not free: used %d -> %d", before.UsedBytes, s.UsedBytes)
+	}
+	p.ForceFree() // idempotent after the refcount free
+	if s := pcState(); s.UsedBytes != before.UsedBytes {
+		t.Fatal("ForceFree after normal free changed accounting")
+	}
+
+	// Reset re-arms for a full re-execution (the rt path for re-runs).
+	p.Reset()
+	want := sc.want()
+	got := []View{cloneView(sc.cs[0]), cloneView(sc.cs[1])}
+	p.Gemm(got[0], sc.as[0], sc.b)
+	p.Gemm(got[1], sc.as[1], sc.b)
+	for i := range got {
+		if d := maxAbsDiffBacking(got[i], want[i]); d != 0 {
+			t.Fatalf("post-Reset consumer %d diverges: max |diff| = %g", i, d)
+		}
+	}
+	if s := pcState(); s.UsedBytes != before.UsedBytes {
+		t.Fatalf("re-execution leaked bytes: %d -> %d", before.UsedBytes, s.UsedBytes)
+	}
+
+	// Abort path: one consumer runs, the second never does; ForceFree
+	// must reclaim.
+	p.Reset()
+	p.Gemm(cloneView(sc.cs[0]), sc.as[0], sc.b)
+	if s := pcState(); s.UsedBytes <= before.UsedBytes {
+		t.Fatal("aborted run did not hold a buffer before ForceFree")
+	}
+	p.ForceFree()
+	if s := pcState(); s.UsedBytes != before.UsedBytes {
+		t.Fatalf("ForceFree leaked: %d -> %d", before.UsedBytes, s.UsedBytes)
+	}
+}
+
+// TestSharedBPanelNilDegrades: fewer than two consumers yields nil, and
+// the nil receiver is the plain Gemm path.
+func TestSharedBPanelNilDegrades(t *testing.T) {
+	ensureTuned()
+	if p := NewSharedBPanel(PanelKey{}, 1); p != nil {
+		t.Fatal("one consumer should not allocate a shared panel")
+	}
+	rng := rand.New(rand.NewSource(25))
+	a := randView(rng, 48, 48)
+	b := randView(rng, 48, 48)
+	c1 := randView(rng, 48, 48)
+	c2 := cloneView(c1)
+	var p *SharedBPanel
+	p.Gemm(c1, a, b)
+	Gemm(c2, a, b)
+	if d := maxAbsDiffBacking(c1, c2); d != 0 {
+		t.Fatalf("nil panel path diverges from Gemm: %g", d)
+	}
+}
+
+// TestSharedBPanelSmallShapesBypass: shapes under the packed crossover
+// must dispatch exactly like Gemm (small path), still bit-identical,
+// without touching the cache.
+func TestSharedBPanelSmallShapesBypass(t *testing.T) {
+	ensureTuned()
+	rng := rand.New(rand.NewSource(26))
+	before := pcState()
+	sc := newSharedGemmCase(rng, 8, 8, 8, 2)
+	want := sc.want()
+	p := NewSharedBPanel(PanelKey{Epoch: NewEpoch(), Col: 5}, 2)
+	p.Gemm(sc.cs[0], sc.as[0], sc.b)
+	p.Gemm(sc.cs[1], sc.as[1], sc.b)
+	for i := range sc.cs {
+		if d := maxAbsDiffBacking(sc.cs[i], want[i]); d != 0 {
+			t.Fatalf("small-shape consumer %d diverges: %g", i, d)
+		}
+	}
+	after := pcState()
+	if after.Packs != before.Packs || after.Hits != before.Hits {
+		t.Error("sub-crossover shapes must not engage the panel cache")
+	}
+}

@@ -20,6 +20,7 @@ func scaleVecAVX2(n int, c *float64, alpha float64)
 
 func init() {
 	if cpuSupportsAVX2FMA() {
+		pmr, pnr = 8, 4
 		panelKernel = panelAVX2
 		rank1Sub = rank1SubVec
 		scaleVec = scaleVecVec

@@ -11,7 +11,7 @@ import (
 // explicit free list — not a sync.Pool, whose contents a GC cycle may
 // drop — so a Reserve'd buffer set genuinely persists for the whole
 // factorization. The rt workers call kernels concurrently and a
-// 1.3 MiB allocation per GEMM call would dominate small updates.
+// megabyte-scale allocation per GEMM call would dominate small updates.
 type workspace struct {
 	ap []float64
 	bp []float64
@@ -42,10 +42,19 @@ func wsCapLocked() int {
 	return wsDefaultCap
 }
 
+// wsApLen/wsBpLen are the buffer lengths the active profile needs:
+// packing pads the edge panel to a full mr/nr width, so each buffer
+// carries one tile of slack beyond the mc*kc / kc*nc payload. maxMR and
+// maxNR (not the active mr/nr) keep one allocation valid across every
+// registered kernel at the same blocking, and in particular across the
+// fixed panel tile (pmr/pnr) the GETRF path uses.
+func wsApLen() int { return (mc + maxMR) * kc }
+func wsBpLen() int { return (nc + maxNR) * kc }
+
 func newWorkspace() *workspace {
 	return &workspace{
-		ap: make([]float64, mc*kc),
-		bp: make([]float64, kc*nc),
+		ap: make([]float64, wsApLen()),
+		bp: make([]float64, wsBpLen()),
 	}
 }
 
@@ -64,10 +73,13 @@ func getWorkspace() *workspace {
 
 func putWorkspace(w *workspace) {
 	wsMu.Lock()
-	wsOut--
-	if len(wsFree) < wsCapLocked() {
+	// A buffer sized under an earlier (smaller) profile must not
+	// survive a retune: drop it and let the next checkout allocate at
+	// the current size.
+	if len(w.ap) >= wsApLen() && len(w.bp) >= wsBpLen() && len(wsFree) < wsCapLocked() {
 		wsFree = append(wsFree, w)
 	}
+	wsOut--
 	wsMu.Unlock()
 }
 
@@ -80,7 +92,7 @@ func putWorkspace(w *workspace) {
 // reservation when the run completes; the bound drops with it and the
 // excess buffer sets are handed to the garbage collector, so
 // alternating wide and narrow runs do not pin the widest run's
-// ~1.3 MiB-per-worker buffers forever.
+// per-worker buffers forever.
 type Reservation struct {
 	n int
 }
@@ -91,13 +103,14 @@ type Reservation struct {
 // it with the worker count before starting a run; the resident engine
 // holds one pool-wide reservation for its whole lifetime. n < 1
 // reserves nothing (the returned Reservation is still valid to
-// Release).
+// Release). The shared packed-panel cache's byte budget scales with the
+// reserved sum (panelcache.go), so a wider pool may cache more panels.
 func Reserve(n int) *Reservation {
+	ensureTuned()
 	if n < 1 {
 		return &Reservation{}
 	}
 	wsMu.Lock()
-	defer wsMu.Unlock()
 	wsReserved += n
 	// Two guarantees: this reservation's n buffers are on the free
 	// list right now (checkouts in flight — other runs' or unreserved
@@ -109,6 +122,9 @@ func Reserve(n int) *Reservation {
 	for len(wsFree) < n || len(wsFree)+wsOut < wsReserved {
 		wsFree = append(wsFree, newWorkspace())
 	}
+	reserved := wsReserved
+	wsMu.Unlock()
+	pcSetSlots(reserved)
 	return &Reservation{n: n}
 }
 
@@ -121,8 +137,8 @@ func (r *Reservation) Release() {
 		return
 	}
 	wsMu.Lock()
-	defer wsMu.Unlock()
 	if r.n == 0 {
+		wsMu.Unlock()
 		return
 	}
 	wsReserved -= r.n
@@ -133,4 +149,7 @@ func (r *Reservation) Release() {
 		}
 		wsFree = wsFree[:cap]
 	}
+	reserved := wsReserved
+	wsMu.Unlock()
+	pcSetSlots(reserved)
 }
