@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField catches mixed atomic/plain access to the same memory
+// word: once any code touches a struct field or package variable
+// through sync/atomic, every other access must be atomic too, or the
+// program has a data race that -race only reports when a schedule
+// happens to collide (exactly the class the DAG's dependency counters
+// invite: a plain `t.remaining--` next to the scheduler's atomic
+// decrement corrupts fan-in counts silently). The dag package sidesteps
+// this today by using the typed atomic.Int32 wrappers, which cannot be
+// read plainly; this analyzer guards the old-style sync/atomic calls
+// that remain legal Go.
+//
+// An initialization-before-publication pattern (plain store while the
+// struct is still goroutine-local) is a legitimate exception; such
+// sites take //hsd:allow atomicfield with a justification.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "memory accessed via sync/atomic anywhere must never be accessed plainly elsewhere",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(prog *Program, r *Reporter) {
+	// Phase 1 (whole program): variables passed by address to
+	// sync/atomic operations, and the identifiers that did so (those
+	// uses are the sanctioned, atomic ones).
+	atomicObjs := map[types.Object]token.Pos{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := funcObj(pkg.Info, call)
+				if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" || !isAtomicOp(f.Name()) || len(call.Args) == 0 {
+					return true
+				}
+				obj, id := addrOperandVar(pkg.Info, call.Args[0])
+				if obj != nil {
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = call.Pos()
+					}
+					sanctioned[id] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Phase 2 (whole program): any other use of those variables is a
+	// plain access. Field selections and qualified package variables
+	// both resolve through Uses of the final identifier, so walking
+	// identifiers covers every access form.
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || sanctioned[id] {
+					return true
+				}
+				obj := pkg.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				if atomicAt, hot := atomicObjs[obj]; hot {
+					r.Reportf(id.Pos(), "plain access to %s, which is accessed via sync/atomic at %s",
+						obj.Name(), prog.Fset.Position(atomicAt))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicOp reports whether name is one of sync/atomic's operation
+// families taking an address (as opposed to the typed wrapper types,
+// whose methods make plain access impossible).
+func isAtomicOp(name string) bool {
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addrOperandVar resolves an &x atomic operand to the variable it
+// names — a struct field or a package-level variable — plus the
+// identifier that named it. Function-local variables are skipped: an
+// address-taken local handed to sync/atomic is a self-contained idiom
+// the race detector already sees.
+func addrOperandVar(info *types.Info, e ast.Expr) (types.Object, *ast.Ident) {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil, nil
+	}
+	var id *ast.Ident
+	switch x := ast.Unparen(u.X).(type) {
+	case *ast.SelectorExpr:
+		id = x.Sel
+	case *ast.Ident:
+		id = x
+	default:
+		return nil, nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || !(v.IsField() || isPkgLevel(v)) {
+		return nil, nil
+	}
+	return v, id
+}
+
+// isPkgLevel reports whether v is declared at package scope.
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BitIdent polices the factorization's bit-identity region: the
+// functions marked //hsd:bitident (the Getf2/panel GETRF family and the
+// unit-lower TRSM it feeds) must produce bit-for-bit the results of the
+// scalar reference loop under every schedule and every micro-kernel.
+// That contract is what makes the paper's static/dynamic comparison
+// meaningful, and it survives only if every floating-point operation
+// rounds exactly where the reference rounds:
+//
+//   - math.FMA (rule fma) computes a*b+c with a single rounding; the
+//     reference rounds the product and the sum separately.
+//   - float == / != (rule floatcmp) is almost always a latent
+//     reassociation hazard; the two intentional uses (the exact-zero
+//     singularity test and the first-maximum idamax rescan) carry
+//     //hsd:allow pragmas.
+//   - a multi-product accumulation expression such as a*b + c*d (rule
+//     fused) invites the compiler — and future vectorizers — to fuse or
+//     reassociate; the blessed form is one product per statement with a
+//     compound-assignment subtract (c[i] -= l[i] * u), which Go
+//     guarantees rounds the product and the subtraction separately.
+var BitIdent = &Analyzer{
+	Name: "bitident",
+	Doc:  "no FMA, float equality or fused-multiply idioms inside //hsd:bitident functions",
+	Run:  runBitIdent,
+}
+
+const bitIdentDirective = "hsd:bitident"
+
+func runBitIdent(prog *Program, r *Reporter) {
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasDirective(fd.Doc, bitIdentDirective) {
+					continue
+				}
+				checkBitIdent(pkg, fd, r)
+			}
+		}
+	}
+}
+
+func checkBitIdent(pkg *Package, fd *ast.FuncDecl, r *Reporter) {
+	// Roots of maximal float-arithmetic trees already reported by the
+	// fused-idiom rule, so subtrees are not reported again.
+	inTree := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if f := funcObj(pkg.Info, n); f != nil && f.Pkg() != nil &&
+				f.Pkg().Path() == "math" && f.Name() == "FMA" {
+				r.Reportf(n.Pos(), "math.FMA in bit-identity function %s: single-rounded a*b+c diverges from the reference's separate product and sum roundings", fd.Name.Name)
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ:
+				if exprIsFloat(pkg.Info, n.X) || exprIsFloat(pkg.Info, n.Y) {
+					r.Reportf(n.Pos(), "float %s comparison in bit-identity function %s", n.Op, fd.Name.Name)
+				}
+			case token.ADD, token.SUB, token.MUL:
+				if inTree[n] || !floatArith(pkg.Info, n) {
+					break
+				}
+				muls, addsubs := countArith(pkg.Info, n, inTree)
+				if muls >= 2 && addsubs >= 1 {
+					r.Reportf(n.Pos(), "fused multiply-accumulate idiom in bit-identity function %s: %d products combined in one expression can be fused or reassociated; keep one product per statement", fd.Name.Name, muls)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprIsFloat reports whether e has floating-point type.
+func exprIsFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isFloat(tv.Type)
+}
+
+// floatArith reports whether b is a floating-point +, - or *.
+func floatArith(info *types.Info, b *ast.BinaryExpr) bool {
+	switch b.Op {
+	case token.ADD, token.SUB, token.MUL:
+		return exprIsFloat(info, b.X) || exprIsFloat(info, b.Y)
+	}
+	return false
+}
+
+// countArith counts the multiplications and additions/subtractions of
+// the maximal float-arithmetic expression tree rooted at e, marking
+// every binary node it visits so the caller reports each tree once.
+// Calls, indexing and identifiers are leaves: their internals round (or
+// load) independently.
+func countArith(info *types.Info, e ast.Expr, inTree map[ast.Node]bool) (muls, addsubs int) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return countArith(info, e.X, inTree)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return countArith(info, e.X, inTree)
+		}
+	case *ast.BinaryExpr:
+		if !floatArith(info, e) {
+			return 0, 0
+		}
+		inTree[e] = true
+		switch e.Op {
+		case token.MUL:
+			muls = 1
+		case token.ADD, token.SUB:
+			addsubs = 1
+		}
+		m1, a1 := countArith(info, e.X, inTree)
+		m2, a2 := countArith(info, e.Y, inTree)
+		return muls + m1 + m2, addsubs + a1 + a2
+	}
+	return 0, 0
+}

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HandlerGuard enforces the serving tier's request-hygiene contract:
+// an HTTP handler must check the request method and the Content-Type
+// header before it consumes the request body. Decoding first and
+// checking later means a mistyped or cross-origin-form request still
+// drains the body and exercises the JSON decoder — the hardened
+// decodePost helper exists precisely so handlers never do that, and
+// this analyzer keeps future handlers honest.
+//
+// The check is flow-ordered and interprocedural within a package: a
+// handler may delegate both checks and the decode to a helper (the
+// decodePost pattern), or perform a check itself and delegate the
+// rest; what must never happen is a body read — r.Body, r.ParseForm,
+// r.FormValue — on a path where either check has not yet happened.
+// Handlers that read no body (GET endpoints like the stats handler)
+// only need their method check at the point they branch on it, which
+// this analyzer does not second-guess.
+var HandlerGuard = &Analyzer{
+	Name: "handlerguard",
+	Doc:  "HTTP handlers must check method and Content-Type before consuming the request body",
+	Run:  runHandlerGuard,
+}
+
+// hgEvent is one ordered observation in a handler-shaped function:
+// a body access or a call passing the request on, annotated with which
+// checks had already happened within this function.
+type hgEvent struct {
+	node          ast.Node
+	callee        types.Object // the forwarded-to function; nil for body accesses
+	what          string
+	methodChecked bool
+	ctChecked     bool
+}
+
+// hgFunc summarizes one handler-shaped function or literal.
+type hgFunc struct {
+	name   string
+	node   ast.Node // *ast.FuncDecl or *ast.FuncLit
+	root   bool     // signature is exactly func(http.ResponseWriter, *http.Request)
+	events []hgEvent
+}
+
+func runHandlerGuard(prog *Program, r *Reporter) {
+	for _, pkg := range prog.Packages {
+		runHandlerGuardPkg(prog, pkg, r)
+	}
+}
+
+func runHandlerGuardPkg(prog *Program, pkg *Package, r *Reporter) {
+	// Collect every handler-shaped function: anything with both an
+	// http.ResponseWriter and a *http.Request parameter. Functions and
+	// methods are keyed by object so call events can resolve to them.
+	byObj := map[types.Object]*hgFunc{}
+	var roots []*hgFunc
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				req := requestParam(pkg, n.Type.Params)
+				if req == nil {
+					// Not handler-shaped itself, but its body may register
+					// handler literals (the mux setup) — keep descending.
+					return true
+				}
+				fn := summarizeHandler(pkg, n.Name.Name, n, n.Body, req)
+				fn.root = isHandlerSig(pkg, n.Type.Params)
+				if obj := pkg.Info.Defs[n.Name]; obj != nil {
+					byObj[obj] = fn
+				}
+				if fn.root {
+					roots = append(roots, fn)
+				}
+			case *ast.FuncLit:
+				req := requestParam(pkg, n.Type.Params)
+				if req == nil || !isHandlerSig(pkg, n.Type.Params) {
+					return true
+				}
+				roots = append(roots, summarizeHandler(pkg, "handler literal", n, n.Body, req))
+				return false
+			}
+			return true
+		})
+	}
+
+	type memoKey struct {
+		fn    *hgFunc
+		m, ct bool
+	}
+	// hgFailure pins an unguarded path: the event to report at (always
+	// one of the queried function's own events) and which checks the
+	// failing body access was actually missing — computed at the leaf,
+	// so a caller that delegates half the checks is told about the
+	// other half only.
+	type hgFailure struct {
+		ev            *hgEvent
+		missM, missCt bool
+	}
+	memo := map[memoKey]*hgFailure{}
+	inProgress := map[memoKey]bool{}
+	// firstUnguarded returns the first unguarded body access reachable
+	// from fn given the checks already performed by its callers, or nil
+	// if every body access is guarded.
+	var firstUnguarded func(fn *hgFunc, m, ct bool) *hgFailure
+	firstUnguarded = func(fn *hgFunc, m, ct bool) *hgFailure {
+		key := memoKey{fn, m, ct}
+		if f, ok := memo[key]; ok {
+			return f
+		}
+		if inProgress[key] {
+			return nil // recursion: assume guarded rather than loop
+		}
+		inProgress[key] = true
+		defer func() { inProgress[key] = false }()
+		for i := range fn.events {
+			ev := &fn.events[i]
+			em, ect := m || ev.methodChecked, ct || ev.ctChecked
+			if ev.callee == nil {
+				if !em || !ect {
+					f := &hgFailure{ev: ev, missM: !em, missCt: !ect}
+					memo[key] = f
+					return f
+				}
+				continue
+			}
+			callee, ok := byObj[ev.callee]
+			if !ok {
+				continue
+			}
+			if sub := firstUnguarded(callee, em, ect); sub != nil {
+				f := &hgFailure{ev: ev, missM: sub.missM, missCt: sub.missCt}
+				memo[key] = f
+				return f
+			}
+		}
+		memo[key] = nil
+		return nil
+	}
+
+	for _, fn := range roots {
+		fail := firstUnguarded(fn, false, false)
+		if fail == nil {
+			continue
+		}
+		var missing []string
+		if fail.missM {
+			missing = append(missing, "method")
+		}
+		if fail.missCt {
+			missing = append(missing, "Content-Type")
+		}
+		r.Reportf(fail.ev.node.Pos(), "%s %s before checking %s", fn.name, fail.ev.what, strings.Join(missing, " and "))
+	}
+}
+
+// requestParam returns the *http.Request parameter's object if params
+// also include an http.ResponseWriter, else nil.
+func requestParam(pkg *Package, params *ast.FieldList) *types.Var {
+	if params == nil {
+		return nil
+	}
+	var req *types.Var
+	hasWriter := false
+	for _, f := range params.List {
+		for _, name := range f.Names {
+			v, ok := pkg.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if isHTTPType(v.Type(), "ResponseWriter") {
+				hasWriter = true
+			}
+			if p, ok := v.Type().(*types.Pointer); ok && isHTTPType(p.Elem(), "Request") {
+				req = v
+			}
+		}
+	}
+	if !hasWriter {
+		return nil
+	}
+	return req
+}
+
+// isHandlerSig reports whether params is exactly
+// (http.ResponseWriter, *http.Request) — the http.HandlerFunc shape.
+func isHandlerSig(pkg *Package, params *ast.FieldList) bool {
+	if params == nil || params.NumFields() != 2 {
+		return false
+	}
+	return requestParam(pkg, params) != nil
+}
+
+// isHTTPType reports whether t is net/http's named type with the given
+// name.
+func isHTTPType(t types.Type, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// summarizeHandler walks body in source order tracking the checks
+// performed on req and recording body accesses and same-package calls
+// that forward req. Nested function literals are skipped: code in them
+// runs outside the handler's request path (and handler-shaped literals
+// are analyzed as roots of their own).
+func summarizeHandler(pkg *Package, name string, node ast.Node, body *ast.BlockStmt, req *types.Var) *hgFunc {
+	fn := &hgFunc{name: name, node: node}
+	methodChecked, ctChecked := false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return n == node
+		case *ast.SelectorExpr:
+			id, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok || pkg.Info.Uses[id] != req {
+				return true
+			}
+			switch n.Sel.Name {
+			case "Method":
+				methodChecked = true
+			case "Body":
+				fn.events = append(fn.events, hgEvent{node: n, what: "reads the request body", methodChecked: methodChecked, ctChecked: ctChecked})
+			case "ParseForm", "ParseMultipartForm", "FormValue", "PostFormValue", "FormFile", "MultipartReader":
+				fn.events = append(fn.events, hgEvent{node: n, what: "parses the request form", methodChecked: methodChecked, ctChecked: ctChecked})
+			}
+		case *ast.CallExpr:
+			if isContentTypeRead(pkg, n, req) {
+				ctChecked = true
+				return true
+			}
+			callee := funcObj(pkg.Info, n)
+			if callee == nil || callee.Pkg() != pkg.Types {
+				return true
+			}
+			for _, arg := range n.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pkg.Info.Uses[id] == req {
+					fn.events = append(fn.events, hgEvent{node: n, callee: callee, what: "forwards the request to " + callee.Name(), methodChecked: methodChecked, ctChecked: ctChecked})
+					break
+				}
+			}
+		}
+		return true
+	})
+	return fn
+}
+
+// isContentTypeRead reports whether call reads the Content-Type header
+// of req: req.Header.Get("Content-Type") or any call on req.Header
+// with a "Content-Type" literal argument.
+func isContentTypeRead(pkg *Package, call *ast.CallExpr, req *types.Var) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	hdr, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || hdr.Sel.Name != "Header" {
+		return false
+	}
+	id, ok := ast.Unparen(hdr.X).(*ast.Ident)
+	if !ok || pkg.Info.Uses[id] != req {
+		return false
+	}
+	for _, arg := range call.Args {
+		if lit, ok := ast.Unparen(arg).(*ast.BasicLit); ok && strings.Trim(lit.Value, `"`) == "Content-Type" {
+			return true
+		}
+	}
+	return false
+}

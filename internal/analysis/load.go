@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks the module's packages from source using only
+// the standard library: `go list -deps -export -json` enumerates the
+// transitive dependency set in dependency order, standard-library
+// dependencies are imported from their compiler export data (the Export
+// file go list names in the build cache), and every in-module package
+// is parsed and checked with go/types so analyzers get full syntax
+// plus type information. No third-party loader, per the module's
+// zero-dependency rule.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Match      []string
+}
+
+// Load builds a Program for the packages matching the go patterns
+// (e.g. "./..."), resolved relative to dir (the module root or any
+// directory inside it).
+func Load(dir string, patterns []string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,Export,Standard,GoFiles,Match", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		exports: map[string]string{},
+		checked: map[string]*types.Package{},
+	}
+	ld.gcImp = importer.ForCompiler(fset, "gc", ld.lookup)
+
+	prog := &Program{Fset: fset}
+	for _, p := range pkgs {
+		if p.Standard || len(p.GoFiles) == 0 {
+			if p.Export != "" {
+				ld.exports[p.ImportPath] = p.Export
+			}
+			continue
+		}
+		// In-module (or at least non-standard) package: check from
+		// source so analyzers see its AST, and so type objects are
+		// shared program-wide (go list -deps emits dependencies first,
+		// so imports always resolve to already-checked packages).
+		pkg, err := ld.checkSource(p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		// -deps lists the whole closure; only pattern-matched packages
+		// become analysis targets.
+		if len(p.Match) > 0 {
+			prog.Packages = append(prog.Packages, pkg)
+		}
+	}
+	return prog, nil
+}
+
+// LoadDir loads the .go files of one directory as a single package —
+// the loading mode of the analyzer testdata corpus, whose packages live
+// under testdata/ where go list patterns do not reach. Corpus packages
+// may import the standard library only.
+func LoadDir(dir string) (*Program, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %v", err)
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		exports: map[string]string{},
+		checked: map[string]*types.Package{},
+	}
+	ld.gcImp = importer.ForCompiler(fset, "gc", ld.lookup)
+
+	// Parse first so the import set is known, then resolve the export
+	// data of those (standard-library) imports in one go list call.
+	pkg, parsed, err := ld.parse(dir, files)
+	if err != nil {
+		return nil, err
+	}
+	var imports []string
+	seen := map[string]bool{}
+	for _, f := range parsed {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	if len(imports) > 0 {
+		if err := ld.resolveExports(dir, imports); err != nil {
+			return nil, err
+		}
+	}
+	name := filepath.Base(dir)
+	if err := ld.check(pkg, "testdata/"+name, parsed); err != nil {
+		return nil, err
+	}
+	return &Program{Fset: fset, Packages: []*Package{pkg}}, nil
+}
+
+// loader carries the shared type-checking state of one Load call.
+type loader struct {
+	fset    *token.FileSet
+	exports map[string]string         // import path -> export data file
+	checked map[string]*types.Package // import path -> source-checked package
+	gcImp   types.Importer
+}
+
+// Import implements types.Importer: source-checked packages win (object
+// identity must be shared between the importer and the analyzers),
+// everything else comes from compiler export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.checked[path]; ok {
+		return pkg, nil
+	}
+	return ld.gcImp.Import(path)
+}
+
+// lookup feeds the gc importer the export data file go list reported.
+func (ld *loader) lookup(path string) (io.ReadCloser, error) {
+	f, ok := ld.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no export data for %q (corpus packages may import only the standard library)", path)
+	}
+	return os.Open(f)
+}
+
+// resolveExports fills ld.exports for the given import paths and their
+// dependencies.
+func (ld *loader) resolveExports(dir string, paths []string) error {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export", "--"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(paths, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			ld.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// parse reads and parses the named files of one package directory.
+func (ld *loader) parse(dir string, files []string) (*Package, []*ast.File, error) {
+	pkg := &Package{Sources: map[string][]byte{}}
+	var parsed []*ast.File
+	for _, name := range files {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: %v", err)
+		}
+		f, err := parser.ParseFile(ld.fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: %v", err)
+		}
+		pkg.Sources[full] = src
+		parsed = append(parsed, f)
+	}
+	return pkg, parsed, nil
+}
+
+// checkSource parses and type-checks one in-module package and records
+// it for import resolution by its dependents.
+func (ld *loader) checkSource(pkgPath, dir string, files []string) (*Package, error) {
+	pkg, parsed, err := ld.parse(dir, files)
+	if err != nil {
+		return nil, err
+	}
+	if err := ld.check(pkg, pkgPath, parsed); err != nil {
+		return nil, err
+	}
+	ld.checked[pkgPath] = pkg.Types
+	return pkg, nil
+}
+
+// check runs go/types over the parsed files.
+func (ld *loader) check(pkg *Package, pkgPath string, parsed []*ast.File) error {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(pkgPath, ld.fset, parsed, info)
+	if err != nil {
+		return fmt.Errorf("analysis: type-checking %s: %v", pkgPath, err)
+	}
+	pkg.PkgPath = pkgPath
+	pkg.Files = parsed
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}

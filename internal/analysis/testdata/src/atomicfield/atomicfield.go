@@ -1,0 +1,56 @@
+// Package atomicfield is the atomicfield analyzer corpus: memory
+// touched through sync/atomic anywhere must never be accessed plainly
+// elsewhere.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	n    int32
+	cold int32
+}
+
+func bump(c *counter) {
+	atomic.AddInt32(&c.n, 1)
+}
+
+func read(c *counter) int32 {
+	return atomic.LoadInt32(&c.n)
+}
+
+func plainRead(c *counter) int32 {
+	return c.n // want `plain access to n, which is accessed via sync/atomic`
+}
+
+func plainWrite(c *counter) {
+	c.n = 0 // want `plain access to n`
+}
+
+// cold is never touched atomically: plain access is fine.
+func coldAccess(c *counter) int32 {
+	return c.cold
+}
+
+var hits int64
+
+func observe() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func reset() {
+	hits = 0 // want `plain access to hits`
+}
+
+// allowedInit is the sanctioned init-before-publication pattern.
+func allowedInit(c *counter) {
+	//hsd:allow atomicfield c is freshly allocated and still goroutine-local here
+	c.n = 0
+}
+
+// typedCounter uses the typed wrapper, whose methods make plain access
+// impossible — nothing for the analyzer to track.
+type typedCounter struct{ n atomic.Int32 }
+
+func bumpTyped(c *typedCounter) int32 {
+	return c.n.Add(1)
+}

@@ -1,0 +1,69 @@
+// Package bitident is the bitident analyzer corpus: functions marked
+// //hsd:bitident must avoid FMA, float equality and fused-multiply
+// accumulation; unmarked functions may do anything.
+package bitident
+
+import "math"
+
+//hsd:bitident
+func usesFMA(a, b, c []float64) {
+	for i := range a {
+		a[i] = math.FMA(b[i], c[i], a[i]) // want `math.FMA in bit-identity function usesFMA`
+	}
+}
+
+//hsd:bitident
+func cmpEq(x, y float64) bool {
+	return x == y // want `float == comparison in bit-identity function cmpEq`
+}
+
+//hsd:bitident
+func cmpNeq(x, y float64) bool {
+	return x != y // want `float != comparison in bit-identity function cmpNeq`
+}
+
+// allowedCmp carries the sanctioned exact-zero idiom.
+//
+//hsd:bitident
+func allowedCmp(x float64) bool {
+	//hsd:allow bitident exact-zero test mirrors the kernel's singularity check
+	return x == 0
+}
+
+//hsd:bitident
+func fusedAccum(c, a, b []float64, u, v float64) {
+	for i := range c {
+		c[i] -= a[i]*u + b[i]*v // want `fused multiply-accumulate idiom in bit-identity function fusedAccum`
+	}
+}
+
+// blessed is the contract's canonical form — one product per
+// statement, compound-assignment subtract: clean.
+//
+//hsd:bitident
+func blessed(c, l []float64, u float64) {
+	for i := range c {
+		c[i] -= l[i] * u
+	}
+}
+
+// intIndexMath multiplies integers inside an index expression; integer
+// arithmetic is not a rounding hazard: clean.
+//
+//hsd:bitident
+func intIndexMath(c []float64, jr, w, pnr int) float64 {
+	return c[(jr/pnr)*w*pnr+1]
+}
+
+// singleProductSum has one product and one add — the multiply rounds,
+// then the add rounds, exactly like the reference: clean.
+//
+//hsd:bitident
+func singleProductSum(x, y, z float64) float64 {
+	return z + x*y
+}
+
+// unmarked is outside the region: FMA and float == are fine here.
+func unmarked(x, y float64) bool {
+	return math.FMA(x, y, 1) == 0
+}

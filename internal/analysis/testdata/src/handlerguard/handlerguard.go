@@ -1,0 +1,130 @@
+// Package handlerguard is the handlerguard analyzer corpus: handlers
+// must check the request method and Content-Type before consuming the
+// body, possibly by delegating to a helper that does.
+package handlerguard
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+func naked(w http.ResponseWriter, r *http.Request) {
+	var v any
+	json.NewDecoder(r.Body).Decode(&v) // want `naked reads the request body before checking method and Content-Type`
+	w.WriteHeader(http.StatusOK)
+}
+
+func methodOnly(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	io.Copy(io.Discard, r.Body) // want `methodOnly reads the request body before checking Content-Type`
+}
+
+func formWithoutChecks(w http.ResponseWriter, r *http.Request) {
+	_ = r.FormValue("q") // want `formWithoutChecks parses the request form before checking method and Content-Type`
+}
+
+// guarded performs both checks inline before decoding: clean.
+func guarded(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	if r.Header.Get("Content-Type") != "application/json" {
+		w.WriteHeader(http.StatusUnsupportedMediaType)
+		return
+	}
+	var v any
+	json.NewDecoder(r.Body).Decode(&v)
+}
+
+// decode is the decodePost pattern: a non-handler helper that enforces
+// method and Content-Type itself before touching the body.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return false
+	}
+	if r.Header.Get("Content-Type") != "application/json" {
+		w.WriteHeader(http.StatusUnsupportedMediaType)
+		return false
+	}
+	return json.NewDecoder(r.Body).Decode(dst) == nil
+}
+
+// delegating leaves everything to the guarded helper: clean.
+func delegating(w http.ResponseWriter, r *http.Request) {
+	var v any
+	if !decode(w, r, &v) {
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// decodeCT checks only Content-Type; its callers must have checked the
+// method.
+func decodeCT(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Header.Get("Content-Type") != "application/json" {
+		w.WriteHeader(http.StatusUnsupportedMediaType)
+		return false
+	}
+	return json.NewDecoder(r.Body).Decode(dst) == nil
+}
+
+// splitChecks checks the method itself and delegates the Content-Type
+// check: the union covers both, clean.
+func splitChecks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	var v any
+	if !decodeCT(w, r, &v) {
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func delegatingHalfChecked(w http.ResponseWriter, r *http.Request) {
+	var v any
+	if !decodeCT(w, r, &v) { // want `delegatingHalfChecked forwards the request to decodeCT before checking method`
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// statsStyle reads no body; a GET endpoint needs no Content-Type:
+// clean.
+func statsStyle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	w.Write([]byte("ok"))
+}
+
+type site struct{}
+
+// serve mimics the three-parameter handleFactor shape: not a root, but
+// unguarded, so every root that forwards to it is flagged.
+func (s *site) serve(w http.ResponseWriter, r *http.Request, verbose bool) {
+	var v any
+	json.NewDecoder(r.Body).Decode(&v)
+	w.WriteHeader(http.StatusOK)
+}
+
+// register's closure is the mux-registration shape.
+func register(mux *http.ServeMux, s *site) {
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		s.serve(w, r, false) // want `handler literal forwards the request to serve before checking method and Content-Type`
+	})
+}
+
+// allowedRaw intentionally accepts any request shape.
+func allowedRaw(w http.ResponseWriter, r *http.Request) {
+	//hsd:allow handlerguard health probe drains anything it is sent by design
+	io.Copy(io.Discard, r.Body)
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TuneGate enforces the kernel package's autotuning contract: the GEMM
+// blocking parameters, micro-kernel selection and dispatch crossovers
+// (the variables marked //hsd:profile-state in internal/kernel) are
+// mutated exactly once, by the autotuner, behind the ensureTuned
+// sync.Once gate. Every exported entry point whose call graph can read
+// that state before tuning completes would race the tuner and, worse,
+// run half-tuned (stale blocking with a retuned micro-kernel). The
+// analyzer therefore requires every exported function that reaches
+// profile state to call ensureTuned() unconditionally (a top-level
+// statement of its body) before the first reaching read or call.
+//
+// Calls to functions that gate themselves (their body leads with
+// ensureTuned) are safe without a local gate — the callee establishes
+// the invariant before its first read, which is why e.g. the blocked
+// TRSMs need no gate of their own: they only reach profile state
+// through Gemm.
+var TuneGate = &Analyzer{
+	Name: "tunegate",
+	Doc:  "exported kernel entry points must call ensureTuned() before reaching tuning-profile state",
+	Run:  runTuneGate,
+}
+
+const (
+	profileStateDirective = "hsd:profile-state"
+	tuneGateFunc          = "ensureTuned"
+)
+
+// tgEventKind enumerates what a statement walk can observe.
+type tgEventKind int
+
+const (
+	tgRead tgEventKind = iota // read or write of a profile-state var
+	tgCall                    // call of a package-level function
+)
+
+type tgEvent struct {
+	kind  tgEventKind
+	pos   token.Pos
+	obj   types.Object // the var read (tgRead) or function called (tgCall)
+	gated bool         // had ensureTuned() already run unconditionally?
+}
+
+// tgFunc is the per-function summary the fixpoint iterates over.
+type tgFunc struct {
+	decl   *ast.FuncDecl
+	events []tgEvent
+	// exposed: the function can reach a profile-state read before any
+	// unconditional ensureTuned() call of its own. why/whyPos explain
+	// the first exposure for the report.
+	exposed bool
+	why     string
+	whyPos  token.Pos
+}
+
+func runTuneGate(prog *Program, r *Reporter) {
+	for _, pkg := range prog.Packages {
+		runTuneGatePkg(prog, pkg, r)
+	}
+}
+
+func runTuneGatePkg(prog *Program, pkg *Package, r *Reporter) {
+	state := profileStateVars(pkg)
+	if len(state) == 0 {
+		return
+	}
+	gate, _ := pkg.Types.Scope().Lookup(tuneGateFunc).(*types.Func)
+	if gate == nil {
+		// Marked state without a gate is a configuration error: report
+		// it at each marker rather than silently checking nothing.
+		for obj, pos := range state {
+			r.Reportf(pos, "%s is marked %s but package %s defines no %s gate",
+				obj.Name(), profileStateDirective, pkg.Types.Name(), tuneGateFunc)
+		}
+		return
+	}
+
+	// Summarize every function with a body.
+	funcs := map[types.Object]*tgFunc{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pkg.Info.Defs[fd.Name]
+			if obj == nil || obj == gate {
+				continue
+			}
+			funcs[obj] = summarizeTuneGate(pkg, fd, gate, state)
+		}
+	}
+
+	// Direct exposure: a profile read before the gate.
+	for _, fn := range funcs {
+		for _, ev := range fn.events {
+			if ev.kind == tgRead && !ev.gated {
+				fn.exposed = true
+				fn.why = fmt.Sprintf("reads %s", ev.obj.Name())
+				fn.whyPos = ev.pos
+				break
+			}
+		}
+	}
+	// Transitive exposure: an ungated call to an exposed function.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range funcs {
+			if fn.exposed {
+				continue
+			}
+			for _, ev := range fn.events {
+				if ev.kind != tgCall || ev.gated {
+					continue
+				}
+				callee, ok := funcs[ev.obj]
+				if ok && callee.exposed {
+					fn.exposed = true
+					fn.why = fmt.Sprintf("calls %s, which %s", ev.obj.Name(), callee.why)
+					fn.whyPos = ev.pos
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for obj, fn := range funcs {
+		if fn.exposed && obj.Exported() {
+			r.Reportf(fn.decl.Name.Pos(),
+				"exported function %s %s at %s without an unconditional %s() call first",
+				obj.Name(), fn.why, prog.Fset.Position(fn.whyPos), tuneGateFunc)
+		}
+	}
+}
+
+// profileStateVars collects the package-level variables marked
+// //hsd:profile-state, either on the var declaration's doc comment
+// (covering every spec in the block) or on an individual spec's doc or
+// trailing comment.
+func profileStateVars(pkg *Package) map[types.Object]token.Pos {
+	state := map[types.Object]token.Pos{}
+	mark := func(spec *ast.ValueSpec) {
+		for _, name := range spec.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				state[obj] = name.Pos()
+			}
+		}
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			declMarked := hasDirective(gd.Doc, profileStateDirective)
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				if declMarked || hasDirective(vs.Doc, profileStateDirective) || hasDirective(vs.Comment, profileStateDirective) {
+					mark(vs)
+				}
+			}
+		}
+	}
+	return state
+}
+
+// summarizeTuneGate walks fd's body in source order, recording profile
+// reads and package-level calls together with whether an unconditional
+// ensureTuned() call preceded them. Only a call that is itself a
+// top-level statement of the body counts as the gate: a conditional
+// gate (inside an if, loop or closure) does not gate every path.
+func summarizeTuneGate(pkg *Package, fd *ast.FuncDecl, gate *types.Func, state map[types.Object]token.Pos) *tgFunc {
+	fn := &tgFunc{decl: fd}
+	gated := false
+	for _, stmt := range fd.Body.List {
+		if es, ok := stmt.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok && funcObj(pkg.Info, call) == gate {
+				gated = true
+				continue
+			}
+		}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj := pkg.Info.Uses[n]; obj != nil {
+					if _, ok := state[obj]; ok {
+						fn.events = append(fn.events, tgEvent{kind: tgRead, pos: n.Pos(), obj: obj, gated: gated})
+					}
+				}
+			case *ast.CallExpr:
+				if callee := funcObj(pkg.Info, n); callee != nil && callee.Pkg() == pkg.Types {
+					fn.events = append(fn.events, tgEvent{kind: tgCall, pos: n.Pos(), obj: callee, gated: gated})
+				}
+			}
+			return true
+		})
+	}
+	return fn
+}

@@ -52,6 +52,8 @@ func (e *SingularError) Error() string {
 // of packed-GEMM speed instead of scalar speed. piv follows the Getf2
 // convention. On an exactly singular pivot column it returns a
 // *SingularError carrying the established prefix length.
+//
+//hsd:bitident
 func Getrf(a View, piv []int) error {
 	ensureTuned()
 	m, n := a.Rows, a.Cols
@@ -116,12 +118,15 @@ func Getrf(a View, piv []int) error {
 // two-pass pivot search and 4-way unrolled scale/update loops. piv
 // receives w local pivot rows. On a zero pivot column it returns a
 // *SingularError with the local prefix length.
+//
+//hsd:bitident
 func getf2Micro(a View, piv []int) error {
 	m, w := a.Rows, a.Cols
 	for k := 0; k < w; k++ {
 		col := a.Data[k*a.Stride:]
 		p, vmax := idamaxRange(col, k, m)
 		piv[k] = p
+		//hsd:allow bitident exact-zero pivot test: singularity is an exact 0.0, matching Getf2
 		if vmax == 0 {
 			return &SingularError{K: k}
 		}
@@ -149,6 +154,8 @@ var idamaxRange = idamaxRangeGeneric
 // branch-light while reproducing exactly the first-strict-max semantics
 // of the scalar scan in Getf2 (NaNs lose every comparison in both
 // formulations).
+//
+//hsd:bitident
 func idamaxRangeGeneric(col []float64, k, m int) (int, float64) {
 	vmax := math.Abs(col[k])
 	i := k + 1
@@ -185,6 +192,7 @@ func idamaxRangeGeneric(col []float64, k, m int) (int, float64) {
 	}
 	if m0 > vmax {
 		for i = k + 1; i < m; i++ {
+			//hsd:allow bitident first-equal rescan: |col[i]| hits the reduction's max bit-exactly, == finds its first index
 			if math.Abs(col[i]) == m0 {
 				return i, m0
 			}
@@ -197,6 +205,7 @@ func idamaxRangeGeneric(col []float64, k, m int) (int, float64) {
 // of the micro-panel. Overridden with an AVX2 variant on amd64.
 var scaleVec = scaleVecGeneric
 
+//hsd:bitident
 func scaleVecGeneric(col []float64, alpha float64) {
 	i := 0
 	for ; i+4 <= len(col); i += 4 {
@@ -216,6 +225,7 @@ func scaleVecGeneric(col []float64, alpha float64) {
 // amd64.
 var rank1Sub = rank1SubGeneric
 
+//hsd:bitident
 func rank1SubGeneric(c, l []float64, u float64) {
 	i := 0
 	for ; i+4 <= len(c); i += 4 {
@@ -237,6 +247,8 @@ func rank1SubGeneric(c, l []float64, u float64) {
 // streams pmr x pnr tiles of C with unit stride. The panel tile is
 // fixed per platform (see tuning.go) — the tuner moves only the GEMM
 // tile, so the bit-identity contract never depends on the profile.
+//
+//hsd:bitident
 func panelUpdate(c, a, b View) {
 	m, n, w := c.Rows, c.Cols, a.Cols
 	ws := getWorkspace()
@@ -257,6 +269,8 @@ func panelUpdate(c, a, b View) {
 // edge tiles are staged through a dense scratch tile (ldc = pmr) so the
 // kernel never branches on shape — padded packed lanes contribute
 // exact zero updates and are masked at write-back.
+//
+//hsd:bitident
 func panelMacro(c View, ws *workspace, ic, jc, mcLen, ncLen, w int) {
 	var scratch [maxMR * maxNR]float64
 	for jr := 0; jr < ncLen; jr += pnr {

@@ -14,6 +14,8 @@ var panelKernel = panelKernelGeneric
 // panelKernelGeneric is the portable pmr x pnr implementation: one
 // columnful of the tile is updated per (l, j) step with the same
 // unrolled multiply/subtract loop the micro-panel factorization uses.
+//
+//hsd:bitident
 func panelKernelGeneric(w int, ap, bp, c []float64, ldc int) {
 	for l := 0; l < w; l++ {
 		al := ap[l*pmr : l*pmr+pmr]

@@ -39,6 +39,11 @@ func TrsmLowerLeftUnitNaive(l, b View) {
 	trsmLowerLeftUnitNaive(l, b)
 }
 
+// trsmLowerLeftUnitNaive is the micro-solver of the blocked forward
+// solve and of the micro-panel U-row solve inside Getrf, so it shares
+// the panel layer's rounding contract.
+//
+//hsd:bitident
 func trsmLowerLeftUnitNaive(l, b View) {
 	n, m := b.Rows, b.Cols
 	for j := 0; j < m; j++ {

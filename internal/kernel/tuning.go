@@ -42,6 +42,8 @@ const (
 // Active GEMM blocking; mutated only by applyProfile (before any
 // concurrent kernel use, behind the ensureTuned gate) and read
 // everywhere else.
+//
+//hsd:profile-state
 var (
 	kc = defaultKC
 	mc = defaultMC
@@ -51,6 +53,8 @@ var (
 // mr x nr is the active GEMM register tile; the platform init installs
 // the widest supported kernel (microkernel_amd64.go) and the tuner may
 // replace it with whichever registered kernel benches fastest.
+//
+//hsd:profile-state
 var (
 	mr = 4
 	nr = 4
@@ -59,6 +63,8 @@ var (
 // microKernel computes acc[j*mr+i] = sum_l ap[l*mr+i]*bp[l*nr+j] for a
 // full register tile over kk packed k-steps. It must not touch C; the
 // macro-kernel subtracts acc into C afterwards, masking edge tiles.
+//
+//hsd:profile-state
 var microKernel = micro4x4
 
 // pmr x pnr is the register tile of the blocked GETRF panel path. It is
@@ -77,6 +83,8 @@ var (
 // small path. Part of the tuning profile so the crossover can move with
 // the machine; 32^3 is the static default benched on the shapes
 // RecursiveLU and the CALU update generate.
+//
+//hsd:profile-state
 var gemmMinFlops = 32 * 32 * 32
 
 // packedWorthwhile reports whether C (m x n) -= A*B over k should take
@@ -100,6 +108,8 @@ const panelCrossover = 64
 // panelMinArea is the m*n panel area below which the blocked GETRF
 // cannot amortize its packing traffic and workspace round trip. Part of
 // the tuning profile, like gemmMinFlops.
+//
+//hsd:profile-state
 var panelMinArea = 32 * 32
 
 // panelBlockedWorthwhile reports whether an m x n panel factorization
@@ -188,9 +198,11 @@ func defaultProfile() Profile {
 }
 
 var (
-	tuneOnce      sync.Once
-	activeProfile = defaultProfile()
-	tuneSource    = "static" // "static", "persisted" or "searched"
+	tuneOnce sync.Once
+	// The reported profile and its provenance move with the blocking
+	// globals under the same gate.
+	activeProfile = defaultProfile() //hsd:profile-state
+	tuneSource    = "static"         //hsd:profile-state ("static", "persisted" or "searched")
 )
 
 // ensureTuned runs the autotuner exactly once, before the first real
