@@ -8,7 +8,10 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"runtime"
 	"sort"
 	"strconv"
@@ -22,6 +25,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/kernel"
 	"repro/internal/layout"
 	"repro/internal/mat"
@@ -816,4 +820,51 @@ func BenchmarkSimulatorEngine(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------
+// Cluster router solve fan-out: full HTTP round-trips through the
+// sharded serving tier, with the key's replicas sharing the read load.
+
+func BenchmarkRouterSolveFanout(b *testing.B) {
+	c, err := harness.Start(harness.Options{Shards: 3, Replicas: 2, Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 128
+	resp, err := http.Post(c.URL()+"/v1/factor", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"n":%d,"seed":3,"workers":1}`, n)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out.ID == "" {
+		b.Fatalf("factor: status %d id %q", resp.StatusCode, out.ID)
+	}
+	solveBody := fmt.Sprintf(`{"id":%q,"b":[%s]}`, out.ID, strings.Repeat("1,", n-1)+"1")
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r, err := http.Post(c.URL()+"/v1/solve", "application/json", strings.NewReader(solveBody))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+			if r.StatusCode != http.StatusOK {
+				b.Errorf("solve: status %d", r.StatusCode)
+				return
+			}
+		}
+	})
 }

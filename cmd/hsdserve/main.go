@@ -22,585 +22,33 @@
 //	    -d '{"rows":2,"cols":2,"data":[4,3,6,3],"residual":true}'
 //	curl -s localhost:8080/v1/solve -H 'Content-Type: application/json' \
 //	    -d '{"id":"f-1","b":[10,12]}'
-//	curl -s localhost:8080/v1/solve -H 'Content-Type: application/json' \
-//	    -d '{"id":"f-1","b":[10,12,4,3],"nrhs":2,"workers":2}'
 //
-// Cholesky jobs ride the same pool (n/seed generates a random SPD test
-// matrix; data must be SPD, lower triangle read):
-//
-//	curl -s localhost:8080/v1/cholesky -H 'Content-Type: application/json' \
-//	    -d '{"n":512,"seed":7,"workers":2}'
-//	curl -s localhost:8080/v1/cholesky/solve -H 'Content-Type: application/json' \
-//	    -d '{"id":"c-1","b":[...]}'
-//	curl -s localhost:8080/v1/stats
-//
-// Traffic shaping: every job request takes "class" ("auto", "small",
-// "large"; default auto classifies by estimated flops) and
-// "deadlineMs", a submit-relative SLO. A request whose estimated
-// service time already exceeds its deadline is shed with a cheap 503
-// (Retry-After set) before it consumes a worker reservation:
-//
-//	curl -s localhost:8080/v1/factor -H 'Content-Type: application/json' \
-//	    -d '{"n":64,"seed":1,"class":"small","deadlineMs":250}'
-//
-// Mutating endpoints are POST-only (405 otherwise), require a JSON
-// Content-Type when one is sent (415 otherwise), cap bodies at
-// -maxbody bytes (413) and reject trailing data after the JSON value
-// (400). Saturation (admission queue at -maxinflight) returns 429 so
-// load balancers can back off; a shed deadline returns 503; a solve
-// against a degraded factorization returns 422 with the solvable
-// prefix. Factorizations are kept resident under -keep / -membudget
-// with least-recently-used eviction and an optional -ttl idle expiry.
+// Cholesky jobs ride the same pool via /v1/cholesky and
+// /v1/cholesky/solve; /v1/stats reports engine, class and store
+// snapshots. The full endpoint semantics — traffic classes, deadlines,
+// 405/413/415/422/429/503 behaviour, the cluster admin plane
+// (/v1/admin/export, /v1/admin/import, /v1/admin/drain) and the
+// /healthz and /readyz probes — live in internal/serve; this binary
+// only parses flags, owns the engine and handles signals: SIGINT or
+// SIGTERM starts a graceful shutdown that stops accepting connections,
+// waits up to -shutdown for inflight requests, then closes the engine.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"mime"
 	"net/http"
 	"os"
-	"strings"
-	"sync"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"repro"
+	"repro/internal/engine"
+	"repro/internal/serve"
 )
-
-// defaultMaxBody caps request bodies (a 2048x2048 JSON matrix is
-// ~90 MB; we stop well before a streaming client can grow memory
-// without bound). Override with -maxbody.
-const defaultMaxBody = 256 << 20
-
-// stored is one resident factorization: exactly one of lu/chol is set.
-type stored struct {
-	lu   *repro.Factorization
-	chol *repro.CholeskyFactorization
-}
-
-// n returns the order of the stored system.
-func (st stored) n() int {
-	if st.lu != nil {
-		return st.lu.L.Rows
-	}
-	return st.chol.L.Rows
-}
-
-// solvable returns the factorization behind the engine's Solvable
-// interface.
-func (st stored) solvable() repro.Solvable {
-	if st.lu != nil {
-		return st.lu
-	}
-	return st.chol
-}
-
-// sizeBytes estimates the resident cost of the factors (the dominant
-// allocations; pivot vectors and metadata are noise at this scale).
-func (st stored) sizeBytes() int64 {
-	if st.lu != nil {
-		return int64(len(st.lu.L.Data)+len(st.lu.U.Data)) * 8
-	}
-	return int64(len(st.chol.L.Data)) * 8
-}
-
-// entry is one resident factorization plus its eviction bookkeeping.
-type entry struct {
-	st    stored
-	bytes int64
-	last  time.Time // last store or lookup; drives TTL expiry
-}
-
-// server wires the engine to the HTTP mux and owns the factorization
-// store: an LRU bounded by both entry count (keep) and estimated bytes
-// (memBudget, 0 = unbounded), with optional idle-TTL expiry.
-type server struct {
-	eng       *repro.Engine
-	maxBody   int64
-	memBudget int64
-	ttl       time.Duration
-
-	mu    sync.Mutex
-	next  int
-	keep  int
-	bytes int64
-	order []string // LRU order: front = least recently used
-	facs  map[string]*entry
-}
-
-// newServer builds a server around an engine. keep must be >= 1;
-// memBudget and ttl of 0 disable the byte bound and idle expiry.
-func newServer(eng *repro.Engine, keep int, maxBody, memBudget int64, ttl time.Duration) *server {
-	return &server{
-		eng: eng, keep: keep, maxBody: maxBody,
-		memBudget: memBudget, ttl: ttl,
-		facs: map[string]*entry{},
-	}
-}
-
-type factorRequest struct {
-	// Either a generated test matrix ...
-	N    int   `json:"n"`
-	Seed int64 `json:"seed"`
-	// ... or caller-supplied data (row-major, rows*cols entries).
-	Rows int       `json:"rows"`
-	Cols int       `json:"cols"`
-	Data []float64 `json:"data"`
-
-	Block        int     `json:"block"`
-	Workers      int     `json:"workers"`
-	Scheduler    string  `json:"scheduler"`
-	Layout       string  `json:"layout"`
-	DynamicRatio float64 `json:"dynamicRatio"`
-	// Class routes the job in the engine's two-lane admission: "auto"
-	// (default), "small" or "large".
-	Class string `json:"class"`
-	// DeadlineMs is the submit-relative SLO; jobs the engine estimates
-	// cannot meet it are shed with 503. 0 means no deadline.
-	DeadlineMs float64 `json:"deadlineMs"`
-	// Residual requests the O(n^3) backward-error check in the reply.
-	Residual bool `json:"residual"`
-}
-
-type factorReply struct {
-	ID          string   `json:"id"`
-	Class       string   `json:"class"`
-	Granted     int      `json:"granted"`
-	QueueWaitMs float64  `json:"queueWaitMs"`
-	SpanMs      float64  `json:"spanMs"`
-	Residual    *float64 `json:"residual,omitempty"`
-}
-
-type solveRequest struct {
-	ID string `json:"id"`
-	// B is the right-hand side: n entries for one system, n*nrhs
-	// entries (column-major) when NRHS > 1.
-	B    []float64 `json:"b"`
-	NRHS int       `json:"nrhs"`
-
-	Block        int     `json:"block"`
-	Workers      int     `json:"workers"`
-	Scheduler    string  `json:"scheduler"`
-	DynamicRatio float64 `json:"dynamicRatio"`
-	Class        string  `json:"class"`
-	DeadlineMs   float64 `json:"deadlineMs"`
-}
-
-type solveReply struct {
-	ID string `json:"id"`
-	// X is the solution, column-major n x nrhs.
-	X           []float64 `json:"x"`
-	NRHS        int       `json:"nrhs"`
-	Class       string    `json:"class"`
-	Granted     int       `json:"granted"`
-	QueueWaitMs float64   `json:"queueWaitMs"`
-	SpanMs      float64   `json:"spanMs"`
-}
-
-func schedulerOptions(name string, opt *repro.Options) error {
-	switch strings.ToLower(name) {
-	case "", "hybrid":
-		opt.Scheduler = repro.ScheduleHybrid
-		if opt.DynamicRatio == 0 {
-			opt.DynamicRatio = 0.1
-		}
-	case "static":
-		opt.Scheduler = repro.ScheduleStatic
-	case "dynamic":
-		opt.Scheduler = repro.ScheduleDynamic
-	case "worksteal":
-		opt.Scheduler = repro.ScheduleWorkStealing
-	default:
-		return fmt.Errorf("unknown scheduler %q", name)
-	}
-	return nil
-}
-
-// classOptions maps the request's traffic-shaping fields onto Options.
-func classOptions(class string, deadlineMs float64, opt *repro.Options) error {
-	switch strings.ToLower(class) {
-	case "", "auto":
-		opt.Class = repro.ClassAuto
-	case "small":
-		opt.Class = repro.ClassSmall
-	case "large", "big":
-		opt.Class = repro.ClassLarge
-	default:
-		return fmt.Errorf("unknown class %q (use auto, small or large)", class)
-	}
-	if deadlineMs < 0 {
-		return fmt.Errorf("deadlineMs must be >= 0, got %g", deadlineMs)
-	}
-	opt.Deadline = time.Duration(deadlineMs * float64(time.Millisecond))
-	return nil
-}
-
-func (s *server) options(req *factorRequest) (repro.Options, error) {
-	opt := repro.Options{
-		Block:        req.Block,
-		Workers:      req.Workers,
-		DynamicRatio: req.DynamicRatio,
-		Seed:         req.Seed,
-	}
-	switch strings.ToLower(req.Layout) {
-	case "", "bcl":
-		opt.Layout = repro.LayoutBlockCyclic
-	case "cm":
-		opt.Layout = repro.LayoutColMajor
-	case "2l", "2l-bl", "twolevel":
-		opt.Layout = repro.LayoutTwoLevel
-	default:
-		return opt, fmt.Errorf("unknown layout %q", req.Layout)
-	}
-	if err := schedulerOptions(req.Scheduler, &opt); err != nil {
-		return opt, err
-	}
-	if err := classOptions(req.Class, req.DeadlineMs, &opt); err != nil {
-		return opt, err
-	}
-	return opt, nil
-}
-
-// matrix materializes the request's input matrix. spd selects the
-// generated-matrix flavour for /v1/cholesky.
-func (s *server) matrix(req *factorRequest, spd bool) (*repro.Matrix, error) {
-	if len(req.Data) > 0 {
-		if req.Rows <= 0 || req.Cols <= 0 || len(req.Data) != req.Rows*req.Cols {
-			return nil, fmt.Errorf("data needs rows*cols = %d*%d entries, got %d",
-				req.Rows, req.Cols, len(req.Data))
-		}
-		a := repro.NewMatrix(req.Rows, req.Cols)
-		for i := 0; i < req.Rows; i++ {
-			for j := 0; j < req.Cols; j++ {
-				a.Set(i, j, req.Data[i*req.Cols+j])
-			}
-		}
-		return a, nil
-	}
-	if req.N <= 0 {
-		return nil, fmt.Errorf("need either n > 0 or rows/cols/data")
-	}
-	if spd {
-		return repro.RandomSPD(req.N, req.Seed), nil
-	}
-	return repro.RandomMatrix(req.N, req.N, req.Seed), nil
-}
-
-// removeLocked drops one entry from the store (mu held).
-func (s *server) removeLocked(id string) {
-	e, ok := s.facs[id]
-	if !ok {
-		return
-	}
-	delete(s.facs, id)
-	s.bytes -= e.bytes
-	for i, v := range s.order {
-		if v == id {
-			s.order = append(s.order[:i:i], s.order[i+1:]...)
-			break
-		}
-	}
-}
-
-// expireLocked lazily drops idle-expired entries. The LRU order is
-// also last-use order, so expired entries cluster at the front.
-func (s *server) expireLocked(now time.Time) {
-	if s.ttl <= 0 {
-		return
-	}
-	for len(s.order) > 0 {
-		e := s.facs[s.order[0]]
-		if now.Sub(e.last) <= s.ttl {
-			return
-		}
-		s.removeLocked(s.order[0])
-	}
-}
-
-func (s *server) store(prefix string, st stored) string {
-	now := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.expireLocked(now)
-	s.next++
-	id := fmt.Sprintf("%s-%d", prefix, s.next)
-	e := &entry{st: st, bytes: st.sizeBytes(), last: now}
-	s.facs[id] = e
-	s.bytes += e.bytes
-	s.order = append(s.order, id)
-	// Evict least-recently-used entries past either bound — but never
-	// the entry just stored: every factor reply must reference a live
-	// id, even when one factorization alone exceeds the byte budget.
-	for len(s.order) > 1 &&
-		(len(s.order) > s.keep || (s.memBudget > 0 && s.bytes > s.memBudget)) {
-		s.removeLocked(s.order[0])
-	}
-	return id
-}
-
-func (s *server) lookup(id string) (stored, bool) {
-	now := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.facs[id]
-	if !ok {
-		return stored{}, false
-	}
-	if s.ttl > 0 && now.Sub(e.last) > s.ttl {
-		s.removeLocked(id)
-		return stored{}, false
-	}
-	e.last = now
-	for i, v := range s.order { // bump to most-recently-used
-		if v == id {
-			s.order = append(append(s.order[:i:i], s.order[i+1:]...), id)
-			break
-		}
-	}
-	return e.st, true
-}
-
-// storeStats snapshots the resident store for /v1/stats.
-func (s *server) storeStats() map[string]any {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return map[string]any{
-		"count":       len(s.facs),
-		"bytes":       s.bytes,
-		"budgetBytes": s.memBudget,
-		"keep":        s.keep,
-		"ttlMs":       s.ttl.Seconds() * 1e3,
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func reply(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
-}
-
-// decodePost guards a mutating endpoint: POST only (405 otherwise), a
-// JSON Content-Type when one is sent (415 otherwise — a body that is
-// not JSON was almost certainly not meant for this API), the body
-// capped at maxBody (413) and exactly one JSON value in it — trailing
-// garbage after the value (a second JSON document, stray bytes) is a
-// malformed request, not something to silently ignore.
-func (s *server) decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed, use POST", r.Method)
-		return false
-	}
-	if ct := r.Header.Get("Content-Type"); ct != "" {
-		mt, _, err := mime.ParseMediaType(ct)
-		if err != nil || mt != "application/json" {
-			httpError(w, http.StatusUnsupportedMediaType,
-				"unsupported Content-Type %q, use application/json", ct)
-			return false
-		}
-	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
-	if err := dec.Decode(v); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge,
-				"request body exceeds %d bytes", tooBig.Limit)
-			return false
-		}
-		httpError(w, http.StatusBadRequest, "bad request: %v", err)
-		return false
-	}
-	// Token (not More) is the complete trailing check: More reports
-	// false for a stray closing bracket, while Token returns io.EOF
-	// only when nothing but whitespace follows the value.
-	if _, err := dec.Token(); err != io.EOF {
-		httpError(w, http.StatusBadRequest, "bad request: trailing data after JSON body")
-		return false
-	}
-	return true
-}
-
-// submitError maps an engine submission error to an HTTP reply: a shed
-// deadline is 503 (the request was refused for its SLO, not for load —
-// retrying with a looser deadline can succeed), saturation is 429 so
-// load balancers back off, anything else is the caller's fault.
-func submitError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, repro.ErrEngineDeadlineInfeasible):
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-	case errors.Is(err, repro.ErrEngineSaturated):
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "engine saturated, retry later")
-	default:
-		httpError(w, http.StatusBadRequest, "%v", err)
-	}
-}
-
-// handleFactor serves /v1/factor (chol=false) and /v1/cholesky
-// (chol=true).
-func (s *server) handleFactor(w http.ResponseWriter, r *http.Request, chol bool) {
-	var req factorRequest
-	if !s.decodePost(w, r, &req) {
-		return
-	}
-	opt, err := s.options(&req)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	a, err := s.matrix(&req, chol)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	var job *repro.EngineJob
-	if chol {
-		job, err = s.eng.TrySubmitCholeskyFactor(a, opt)
-	} else {
-		job, err = s.eng.TrySubmitFactor(a, opt)
-	}
-	if err != nil {
-		submitError(w, err)
-		return
-	}
-	if err := job.Wait(); err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "factorization failed: %v", err)
-		return
-	}
-	var st stored
-	var id string
-	var res float64
-	if chol {
-		st = stored{chol: job.CholeskyFactorization()}
-		id = s.store("c", st)
-		if req.Residual {
-			res = repro.CholeskyResidual(a, st.chol)
-		}
-	} else {
-		st = stored{lu: job.Factorization()}
-		id = s.store("f", st)
-		if req.Residual {
-			res = repro.Residual(a, st.lu)
-		}
-	}
-	rep := factorReply{
-		ID:          id,
-		Class:       job.Class().String(),
-		Granted:     job.Granted(),
-		QueueWaitMs: job.QueueWait().Seconds() * 1e3,
-		SpanMs:      job.Span().Seconds() * 1e3,
-	}
-	if req.Residual {
-		rep.Residual = &res
-	}
-	reply(w, rep)
-}
-
-// handleSolve serves /v1/solve (any stored id) and /v1/cholesky/solve
-// (cholesky ids only).
-func (s *server) handleSolve(w http.ResponseWriter, r *http.Request, wantChol bool) {
-	var req solveRequest
-	if !s.decodePost(w, r, &req) {
-		return
-	}
-	st, ok := s.lookup(req.ID)
-	if !ok {
-		httpError(w, http.StatusNotFound, "no factorization %q (evicted or never existed)", req.ID)
-		return
-	}
-	if wantChol && st.chol == nil {
-		httpError(w, http.StatusBadRequest, "%q is not a cholesky factorization", req.ID)
-		return
-	}
-	n := st.n()
-	nrhs := req.NRHS
-	if nrhs <= 0 {
-		nrhs = 1
-	}
-	// nrhs > len(B) is always invalid (n >= 1) and, checked first, keeps
-	// the n*nrhs product far from integer overflow for any body that
-	// fits the request size cap.
-	if nrhs > len(req.B) || len(req.B) != n*nrhs {
-		httpError(w, http.StatusBadRequest, "rhs needs n*nrhs = %d*%d entries, got %d", n, nrhs, len(req.B))
-		return
-	}
-	opt := repro.Options{Block: req.Block, Workers: req.Workers, DynamicRatio: req.DynamicRatio}
-	if err := schedulerOptions(req.Scheduler, &opt); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if err := classOptions(req.Class, req.DeadlineMs, &opt); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	bm := repro.NewMatrix(n, nrhs)
-	copy(bm.Data, req.B)
-	job, err := s.eng.TrySubmitSolveMany(st.solvable(), bm, opt)
-	if err != nil {
-		submitError(w, err)
-		return
-	}
-	if err := job.Wait(); err != nil {
-		var se *repro.SingularSolveError
-		if errors.As(err, &se) {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusUnprocessableEntity)
-			json.NewEncoder(w).Encode(map[string]any{
-				"error":          err.Error(),
-				"solvablePrefix": se.Prefix,
-				"n":              se.N,
-				"degradedSystem": true,
-			})
-			return
-		}
-		httpError(w, http.StatusUnprocessableEntity, "solve failed: %v", err)
-		return
-	}
-	// The solution block is tightly strided (mat.New), so its backing
-	// array IS the column-major flat reply — no copy on the hot path.
-	x := job.SolutionMatrix()
-	reply(w, solveReply{
-		ID: req.ID, X: x.Data, NRHS: nrhs,
-		Class:       job.Class().String(),
-		Granted:     job.Granted(),
-		QueueWaitMs: job.QueueWait().Seconds() * 1e3,
-		SpanMs:      job.Span().Seconds() * 1e3,
-	})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed, use GET", r.Method)
-		return
-	}
-	reply(w, map[string]any{
-		"engine": s.eng.Stats(),
-		"store":  s.storeStats(),
-	})
-}
-
-// mux builds the route table. Method checks live in the handlers (not
-// in method-qualified patterns) so direct handler tests and the live
-// server agree on 405 behaviour.
-func (s *server) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/factor", func(w http.ResponseWriter, r *http.Request) { s.handleFactor(w, r, false) })
-	mux.HandleFunc("/v1/cholesky", func(w http.ResponseWriter, r *http.Request) { s.handleFactor(w, r, true) })
-	mux.HandleFunc("/v1/solve", func(w http.ResponseWriter, r *http.Request) { s.handleSolve(w, r, false) })
-	mux.HandleFunc("/v1/cholesky/solve", func(w http.ResponseWriter, r *http.Request) { s.handleSolve(w, r, true) })
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	return mux
-}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -608,9 +56,10 @@ func main() {
 	dratio := flag.Float64("dratio", 0.25, "inter-job dynamic ratio (0 fully static .. 1 fully dynamic)")
 	maxInflight := flag.Int("maxinflight", 0, "admission bound (0 = 4*pool)")
 	keep := flag.Int("keep", 64, "factorizations kept resident for /v1/solve (>= 1)")
-	maxBody := flag.Int64("maxbody", defaultMaxBody, "request body cap in bytes")
+	maxBody := flag.Int64("maxbody", serve.DefaultMaxBody, "request body cap in bytes")
 	memBudget := flag.Int64("membudget", 0, "resident factorization memory budget in bytes (0 = unbounded)")
 	ttl := flag.Duration("ttl", 0, "idle expiry of resident factorizations (0 = never)")
+	shutdown := flag.Duration("shutdown", 30*time.Second, "graceful-shutdown deadline for inflight requests")
 	flag.Parse()
 	if *keep < 1 {
 		fmt.Fprintf(os.Stderr, "hsdserve: -keep must be >= 1 (every /v1/factor reply references a kept factorization)\n")
@@ -621,19 +70,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	eng, err := repro.NewEngine(repro.EngineOptions{
+	eng, err := engine.New(engine.Options{
 		Workers: *pool, MaxInflight: *maxInflight, DynamicRatio: *dratio,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hsdserve: %v\n", err)
 		os.Exit(2)
 	}
-	defer eng.Close()
 
-	s := newServer(eng, *keep, *maxBody, *memBudget, *ttl)
+	s := serve.New(eng, serve.Options{
+		Keep: *keep, MaxBody: *maxBody, MemBudget: *memBudget, TTL: *ttl,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           s.mux(),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		// Generous body/response windows: factor payloads can be large
 		// and jobs queue behind the admission bound, but no connection
@@ -642,8 +92,30 @@ func main() {
 		WriteTimeout: 5 * time.Minute,
 		IdleTimeout:  2 * time.Minute,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("hsdserve: engine up (%+v), listening on %s", eng.Stats(), *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	select {
+	case err := <-errc:
+		eng.Close()
 		log.Fatalf("hsdserve: %v", err)
+	case <-ctx.Done():
 	}
+	stop() // a second signal kills immediately
+	log.Printf("hsdserve: signal received, draining inflight requests (up to %s)", *shutdown)
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdown)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("hsdserve: shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("hsdserve: serve: %v", err)
+	}
+	eng.Close()
+	log.Printf("hsdserve: engine closed, bye")
 }

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// randDense fills an r x c matrix with deterministic values, salting in
+// a few special floats so bit-exactness is actually exercised.
+func randDense(r, c int, seed int64) *mat.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	d := mat.New(r, c)
+	for i := range d.Data {
+		d.Data[i] = rng.NormFloat64()
+	}
+	if len(d.Data) > 4 {
+		d.Data[0] = math.Copysign(0, -1)  // -0
+		d.Data[1] = math.SmallestNonzeroFloat64
+		d.Data[2] = math.Inf(1)
+		d.Data[3] = math.NaN()
+	}
+	return d
+}
+
+func bitEqual(t *testing.T, name string, a, b *mat.Dense) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			t.Fatalf("%s: element %d differs: %x vs %x",
+				name, i, math.Float64bits(a.Data[i]), math.Float64bits(b.Data[i]))
+		}
+	}
+}
+
+// TestWireLURoundTrip: LU factorizations of assorted (including ragged,
+// sub-block and multi-block) sizes survive the wire bit-identically,
+// permutation included.
+func TestWireLURoundTrip(t *testing.T) {
+	for _, n := range []int{1, 7, 128, 200} {
+		lu := &core.Factorization{
+			Perm: rand.New(rand.NewSource(int64(n))).Perm(n),
+			L:    randDense(n, n, int64(n)),
+			U:    randDense(n, n, int64(n)+1),
+		}
+		data, err := EncodeFactorization(lu, nil)
+		if err != nil {
+			t.Fatalf("n=%d: encode: %v", n, err)
+		}
+		got, ch, err := DecodeFactorization(data)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if ch != nil || got == nil {
+			t.Fatalf("n=%d: decoded wrong kind", n)
+		}
+		if len(got.Perm) != n {
+			t.Fatalf("n=%d: perm length %d", n, len(got.Perm))
+		}
+		for i, p := range lu.Perm {
+			if got.Perm[i] != p {
+				t.Fatalf("n=%d: perm[%d] = %d, want %d", n, i, got.Perm[i], p)
+			}
+		}
+		bitEqual(t, "L", lu.L, got.L)
+		bitEqual(t, "U", lu.U, got.U)
+	}
+}
+
+// TestWireCholeskyRoundTrip: Cholesky factors travel without a
+// permutation and come back bit-identical.
+func TestWireCholeskyRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 33, 150} {
+		ch := &core.CholeskyFactorization{L: randDense(n, n, int64(n))}
+		data, err := EncodeFactorization(nil, ch)
+		if err != nil {
+			t.Fatalf("n=%d: encode: %v", n, err)
+		}
+		lu, got, err := DecodeFactorization(data)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if lu != nil || got == nil {
+			t.Fatalf("n=%d: decoded wrong kind", n)
+		}
+		bitEqual(t, "chol L", ch.L, got.L)
+	}
+}
+
+// TestWireRejectsInvalidInput: encode refuses ambiguous arguments,
+// decode refuses malformed bytes without panicking.
+func TestWireRejectsInvalidInput(t *testing.T) {
+	if _, err := EncodeFactorization(nil, nil); err == nil {
+		t.Fatal("encoded neither kind")
+	}
+	both := &core.Factorization{L: mat.New(1, 1), U: mat.New(1, 1)}
+	if _, err := EncodeFactorization(both, &core.CholeskyFactorization{L: mat.New(1, 1)}); err == nil {
+		t.Fatal("encoded both kinds")
+	}
+
+	good, err := EncodeFactorization(&core.Factorization{
+		Perm: []int{1, 0, 2},
+		L:    randDense(3, 3, 1),
+		U:    randDense(3, 3, 2),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        nil,
+		"short":        good[:3],
+		"header only":  good[:wireHdrLen],
+		"perm only":    good[:wireHdrLen+4],
+		"truncated L":  good[:len(good)/2],
+		"truncated U":  good[:len(good)-1],
+		"trailing":     append(append([]byte(nil), good...), 0),
+		"bad magic":    append([]byte("NOPE"), good[4:]...),
+		"bad version":  append(append([]byte(nil), good[:4]...), append([]byte{99}, good[5:]...)...),
+		"bad kind":     append(append([]byte(nil), good[:5]...), append([]byte{7}, good[6:]...)...),
+		"perm len lie": func() []byte {
+			b := append([]byte(nil), good...)
+			b[wireHdrLen] = 200 // claims 200 perm entries
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeFactorization(data); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+
+	// Perm length / L rows mismatch (well-formed pieces, inconsistent).
+	mis, err := EncodeFactorization(&core.Factorization{
+		Perm: []int{0, 1},
+		L:    randDense(3, 3, 1),
+		U:    randDense(3, 3, 2),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeFactorization(mis); err == nil {
+		t.Error("perm/L mismatch accepted")
+	}
+}

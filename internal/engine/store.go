@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Kept is one resident factorization in a Store: exactly one of LU or
+// Chol is set. It is the unit the serving tier keeps for /v1/solve and
+// the unit the cluster tier exports, ships and imports between shards.
+type Kept struct {
+	LU   *core.Factorization
+	Chol *core.CholeskyFactorization
+}
+
+// Valid reports whether exactly one factorization is set.
+func (k Kept) Valid() bool { return (k.LU != nil) != (k.Chol != nil) }
+
+// N returns the order of the stored system.
+func (k Kept) N() int {
+	if k.LU != nil {
+		return k.LU.L.Rows
+	}
+	return k.Chol.L.Rows
+}
+
+// Solvable returns the factorization behind the engine's Solvable
+// interface.
+func (k Kept) Solvable() Solvable {
+	if k.LU != nil {
+		return k.LU
+	}
+	return k.Chol
+}
+
+// SizeBytes estimates the resident cost of the factors (the dominant
+// allocations; pivot vectors and metadata are noise at this scale).
+func (k Kept) SizeBytes() int64 {
+	if k.LU != nil {
+		return int64(len(k.LU.L.Data)+len(k.LU.U.Data)) * 8
+	}
+	return int64(len(k.Chol.L.Data)) * 8
+}
+
+// StoreOptions bounds a Store.
+type StoreOptions struct {
+	// Keep is the entry-count bound (min 1: every Put must leave its
+	// entry resident so the caller's reply references a live id).
+	Keep int
+	// MemBudget bounds the estimated resident bytes; 0 = unbounded.
+	MemBudget int64
+	// TTL expires entries idle longer than this, lazily at the next
+	// touch; 0 = never.
+	TTL time.Duration
+}
+
+// StoreStats is a point-in-time snapshot of a Store.
+type StoreStats struct {
+	Count       int
+	Bytes       int64
+	BudgetBytes int64
+	Keep        int
+	TTL         time.Duration
+	Evictions   int64 // entries dropped by the keep or byte bound
+	Expiries    int64 // entries dropped by the idle TTL
+	Imports     int64 // entries stored under an explicit id (PutAs)
+}
+
+// storeEntry is one resident factorization plus eviction bookkeeping.
+type storeEntry struct {
+	k     Kept
+	bytes int64
+	last  time.Time // last store or lookup; drives TTL expiry
+}
+
+// Store is the engine-level keep-store for completed factorizations:
+// an LRU keyed by id, bounded by entry count and estimated bytes, with
+// optional idle-TTL expiry. The serving tier keeps one per shard;
+// replication imports entries under their cluster-wide id with PutAs
+// and exports them with Get/IDs. Safe for concurrent use.
+type Store struct {
+	opt StoreOptions
+
+	mu        sync.Mutex
+	next      int
+	bytes     int64
+	order     []string // LRU order: front = least recently used
+	entries   map[string]*storeEntry
+	evictions int64
+	expiries  int64
+	imports   int64
+}
+
+// NewStore builds a store; Keep is clamped to >= 1.
+func NewStore(opt StoreOptions) *Store {
+	if opt.Keep < 1 {
+		opt.Keep = 1
+	}
+	return &Store{opt: opt, entries: map[string]*storeEntry{}}
+}
+
+// removeLocked drops one entry (mu held).
+func (s *Store) removeLocked(id string) {
+	e, ok := s.entries[id]
+	if !ok {
+		return
+	}
+	delete(s.entries, id)
+	s.bytes -= e.bytes
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// expireLocked lazily drops idle-expired entries. The LRU order is
+// also last-use order, so expired entries cluster at the front.
+func (s *Store) expireLocked(now time.Time) {
+	if s.opt.TTL <= 0 {
+		return
+	}
+	for len(s.order) > 0 {
+		e := s.entries[s.order[0]]
+		if now.Sub(e.last) <= s.opt.TTL {
+			return
+		}
+		s.removeLocked(s.order[0])
+		s.expiries++
+	}
+}
+
+// insertLocked stores k under id at the most-recently-used position
+// and evicts past either bound — but never the entry just stored:
+// every store must leave a live id, even when one factorization alone
+// exceeds the byte budget.
+func (s *Store) insertLocked(id string, k Kept, now time.Time) {
+	if old, ok := s.entries[id]; ok { // overwrite: replace in place
+		s.bytes -= old.bytes
+		delete(s.entries, id)
+		for i, v := range s.order {
+			if v == id {
+				s.order = append(s.order[:i:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	e := &storeEntry{k: k, bytes: k.SizeBytes(), last: now}
+	s.entries[id] = e
+	s.bytes += e.bytes
+	s.order = append(s.order, id)
+	for len(s.order) > 1 &&
+		(len(s.order) > s.opt.Keep || (s.opt.MemBudget > 0 && s.bytes > s.opt.MemBudget)) {
+		s.removeLocked(s.order[0])
+		s.evictions++
+	}
+}
+
+// Put stores k under a fresh generated id "<prefix>-<seq>" and returns
+// the id.
+func (s *Store) Put(prefix string, k Kept) string {
+	if !k.Valid() {
+		panic("engine: Store.Put needs exactly one of LU or Chol")
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(now)
+	s.next++
+	id := fmt.Sprintf("%s-%d", prefix, s.next)
+	s.insertLocked(id, k, now)
+	return id
+}
+
+// PutAs stores k under an explicit id — the import half of cluster
+// replication, where the id is the cluster-wide factorization key and
+// must survive the hop. An existing entry under id is replaced.
+func (s *Store) PutAs(id string, k Kept) {
+	if !k.Valid() {
+		panic("engine: Store.PutAs needs exactly one of LU or Chol")
+	}
+	if id == "" {
+		panic("engine: Store.PutAs needs a non-empty id")
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(now)
+	s.insertLocked(id, k, now)
+	s.imports++
+}
+
+// Get returns the entry under id, refreshing its recency. A TTL-expired
+// entry is reaped and reported missing.
+func (s *Store) Get(id string) (Kept, bool) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return Kept{}, false
+	}
+	if s.opt.TTL > 0 && now.Sub(e.last) > s.opt.TTL {
+		s.removeLocked(id)
+		s.expiries++
+		return Kept{}, false
+	}
+	e.last = now
+	for i, v := range s.order { // bump to most-recently-used
+		if v == id {
+			s.order = append(append(s.order[:i:i], s.order[i+1:]...), id)
+			break
+		}
+	}
+	return e.k, true
+}
+
+// Remove drops the entry under id, reporting whether it existed.
+func (s *Store) Remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[id]
+	s.removeLocked(id)
+	return ok
+}
+
+// IDs returns the resident ids in sorted order — the export listing a
+// drain or rebalance enumerates. TTL-expired entries are reaped first.
+func (s *Store) IDs() []string {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(now)
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	sort.Strings(ids)
+	return ids
+}
+
+// Len returns the resident entry count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// SetLastUsed backdates (or forward-dates) an entry's recency stamp,
+// reporting whether the entry exists. Lazy TTL expiry is untestable
+// without real sleeps otherwise; admin tooling can also use it to pin
+// an entry hot. It does not reorder the LRU list.
+func (s *Store) SetLastUsed(id string, last time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if ok {
+		e.last = last
+	}
+	return ok
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Count:       len(s.entries),
+		Bytes:       s.bytes,
+		BudgetBytes: s.opt.MemBudget,
+		Keep:        s.opt.Keep,
+		TTL:         s.opt.TTL,
+		Evictions:   s.evictions,
+		Expiries:    s.expiries,
+		Imports:     s.imports,
+	}
+}

@@ -1,8 +1,11 @@
-package main
+package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,18 +13,23 @@ import (
 	"testing"
 	"time"
 
-	"repro"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mat"
 )
 
 // newTestServer spins up a small resident engine behind the real mux.
-func newTestServer(t *testing.T) (*server, *httptest.Server) {
+func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
 	t.Helper()
-	eng, err := repro.NewEngine(repro.EngineOptions{Workers: 2, MaxInflight: 8, DynamicRatio: 0.5})
+	eng, err := engine.New(engine.Options{Workers: 2, MaxInflight: 8, DynamicRatio: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(eng, 8, defaultMaxBody, 0, 0)
-	ts := httptest.NewServer(s.mux())
+	if opt.Keep == 0 {
+		opt.Keep = 8
+	}
+	s := New(eng, opt)
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		eng.Close()
@@ -43,10 +51,17 @@ func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
 	return resp, out
 }
 
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
 // TestServeFactorSolveRoundTrip drives factor then single- and
 // multi-RHS solves through the HTTP surface and checks the arithmetic.
 func TestServeFactorSolveRoundTrip(t *testing.T) {
-	_, ts := newTestServer(t)
+	_, ts := newTestServer(t, Options{})
 	resp, out := postJSON(t, ts.URL+"/v1/factor",
 		`{"rows":2,"cols":2,"data":[4,3,6,3],"residual":true,"workers":1}`)
 	if resp.StatusCode != http.StatusOK {
@@ -85,7 +100,7 @@ func TestServeFactorSolveRoundTrip(t *testing.T) {
 // /v1/cholesky/solve, and checks the cholesky solve endpoint rejects
 // LU ids.
 func TestServeCholeskyEndpoints(t *testing.T) {
-	_, ts := newTestServer(t)
+	_, ts := newTestServer(t, Options{})
 	resp, out := postJSON(t, ts.URL+"/v1/cholesky", `{"n":48,"seed":3,"workers":1,"residual":true}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("cholesky factor: %d %v", resp.StatusCode, out)
@@ -124,10 +139,13 @@ func TestServeCholeskyEndpoints(t *testing.T) {
 }
 
 // TestServeMethodNotAllowed: every mutating endpoint rejects non-POST
-// with 405 (and an Allow header); /v1/stats rejects non-GET.
+// with 405 (and an Allow header); GET-only endpoints reject POST.
 func TestServeMethodNotAllowed(t *testing.T) {
-	_, ts := newTestServer(t)
-	for _, path := range []string{"/v1/factor", "/v1/solve", "/v1/cholesky", "/v1/cholesky/solve"} {
+	_, ts := newTestServer(t, Options{})
+	for _, path := range []string{
+		"/v1/factor", "/v1/solve", "/v1/cholesky", "/v1/cholesky/solve",
+		"/v1/admin/import", "/v1/admin/drain",
+	} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -140,20 +158,22 @@ func TestServeMethodNotAllowed(t *testing.T) {
 			t.Fatalf("GET %s: Allow %q, want POST", path, allow)
 		}
 	}
-	resp, err := http.Post(ts.URL+"/v1/stats", "application/json", strings.NewReader("{}"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("POST /v1/stats: %d, want 405", resp.StatusCode)
+	for _, path := range []string{"/v1/stats", "/v1/admin/export", "/healthz", "/readyz"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s: %d, want 405", path, resp.StatusCode)
+		}
 	}
 }
 
 // TestServeTrailingGarbageRejected: a body with data after the first
 // JSON value is a 400, on every mutating endpoint.
 func TestServeTrailingGarbageRejected(t *testing.T) {
-	_, ts := newTestServer(t)
+	_, ts := newTestServer(t, Options{})
 	bodies := map[string]string{
 		"/v1/factor":         `{"n":8,"seed":1} {"n":9}`,
 		"/v1/cholesky":       `{"n":8,"seed":1} garbage`,
@@ -186,7 +206,7 @@ func TestServeTrailingGarbageRejected(t *testing.T) {
 // factorization returns 422 with the solvable prefix, not an opaque
 // error string.
 func TestServeDegradedSolveReportsPrefix(t *testing.T) {
-	s, ts := newTestServer(t)
+	s, ts := newTestServer(t, Options{})
 	resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":32,"seed":5,"workers":1}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("factor: %d %v", resp.StatusCode, out)
@@ -194,12 +214,12 @@ func TestServeDegradedSolveReportsPrefix(t *testing.T) {
 	id := out["id"].(string)
 	// Degrade the stored factorization the way a prefix-padded singular
 	// fallback would: zero the factored tail of U.
-	st, ok := s.lookup(id)
+	k, ok := s.Store().Get(id)
 	if !ok {
 		t.Fatalf("stored factorization %q missing", id)
 	}
 	for j := 20; j < 32; j++ {
-		st.lu.U.Set(j, j, 0)
+		k.LU.U.Set(j, j, 0)
 	}
 	b := strings.Repeat("1,", 31) + "1"
 	resp, out = postJSON(t, ts.URL+"/v1/solve", fmt.Sprintf(`{"id":%q,"b":[%s]}`, id, b))
@@ -216,7 +236,7 @@ func TestServeDegradedSolveReportsPrefix(t *testing.T) {
 
 // TestServeSolveBadShapes covers rhs-shape validation and unknown ids.
 func TestServeSolveBadShapes(t *testing.T) {
-	_, ts := newTestServer(t)
+	_, ts := newTestServer(t, Options{})
 	resp, _ := postJSON(t, ts.URL+"/v1/solve", `{"id":"f-404","b":[1,2]}`)
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown id: %d, want 404", resp.StatusCode)
@@ -236,18 +256,11 @@ func TestServeSolveBadShapes(t *testing.T) {
 	}
 }
 
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
-
 // TestServeContentTypeRejected: a POST with a non-JSON Content-Type is
 // 415; an absent Content-Type or application/json with parameters is
 // accepted.
 func TestServeContentTypeRejected(t *testing.T) {
-	_, ts := newTestServer(t)
+	_, ts := newTestServer(t, Options{})
 	body := `{"n":8,"seed":1,"workers":1}`
 
 	resp, err := http.Post(ts.URL+"/v1/factor", "text/plain", strings.NewReader(body))
@@ -279,17 +292,10 @@ func TestServeContentTypeRejected(t *testing.T) {
 	}
 }
 
-// TestServeBodyTooLarge: a body past the -maxbody cap is 413, and the
-// server keeps working afterwards.
+// TestServeBodyTooLarge: a body past the cap is 413, and the server
+// keeps working afterwards.
 func TestServeBodyTooLarge(t *testing.T) {
-	eng, err := repro.NewEngine(repro.EngineOptions{Workers: 1, MaxInflight: 4, DynamicRatio: 0.5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := newServer(eng, 8, 128, 0, 0) // 128-byte cap
-	ts := httptest.NewServer(s.mux())
-	t.Cleanup(func() { ts.Close(); eng.Close() })
-
+	_, ts := newTestServer(t, Options{MaxBody: 128})
 	big := fmt.Sprintf(`{"n":8,"seed":1,"data":[%s1]}`, strings.Repeat("1,", 200))
 	resp, out := postJSON(t, ts.URL+"/v1/factor", big)
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
@@ -305,14 +311,7 @@ func TestServeBodyTooLarge(t *testing.T) {
 // USED factorization, not the oldest stored — a solve refreshes its
 // factorization's position.
 func TestServeStoreLRUEviction(t *testing.T) {
-	eng, err := repro.NewEngine(repro.EngineOptions{Workers: 1, MaxInflight: 4, DynamicRatio: 0.5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := newServer(eng, 2, defaultMaxBody, 0, 0) // keep 2
-	ts := httptest.NewServer(s.mux())
-	t.Cleanup(func() { ts.Close(); eng.Close() })
-
+	_, ts := newTestServer(t, Options{Keep: 2})
 	factor := func() string {
 		resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":8,"seed":1,"workers":1}`)
 		if resp.StatusCode != http.StatusOK {
@@ -342,15 +341,8 @@ func TestServeStoreLRUEviction(t *testing.T) {
 // TestServeStoreMemBudget: the byte budget evicts old factorizations
 // even below the keep count, but never the one just stored.
 func TestServeStoreMemBudget(t *testing.T) {
-	eng, err := repro.NewEngine(repro.EngineOptions{Workers: 1, MaxInflight: 4, DynamicRatio: 0.5})
-	if err != nil {
-		t.Fatal(err)
-	}
 	// A 16x16 LU costs 2*16*16*8 = 4096 bytes; budget one and a half.
-	s := newServer(eng, 64, defaultMaxBody, 6000, 0)
-	ts := httptest.NewServer(s.mux())
-	t.Cleanup(func() { ts.Close(); eng.Close() })
-
+	s, ts := newTestServer(t, Options{Keep: 64, MemBudget: 6000})
 	factor := func() string {
 		resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":16,"seed":1,"workers":1}`)
 		if resp.StatusCode != http.StatusOK {
@@ -360,16 +352,13 @@ func TestServeStoreMemBudget(t *testing.T) {
 	}
 	a := factor()
 	b := factor() // pushes bytes to 8192 > 6000: evicts a
-	s.mu.Lock()
-	count, bytes := len(s.facs), s.bytes
-	s.mu.Unlock()
-	if count != 1 || bytes != 4096 {
-		t.Fatalf("store after budget eviction: %d entries / %d bytes, want 1 / 4096", count, bytes)
+	if st := s.Store().Stats(); st.Count != 1 || st.Bytes != 4096 {
+		t.Fatalf("store after budget eviction: %d entries / %d bytes, want 1 / 4096", st.Count, st.Bytes)
 	}
-	if _, ok := s.lookup(a); ok {
+	if _, ok := s.Store().Get(a); ok {
 		t.Fatalf("%s survived the byte budget", a)
 	}
-	if _, ok := s.lookup(b); !ok {
+	if _, ok := s.Store().Get(b); !ok {
 		t.Fatalf("just-stored %s was evicted", b)
 	}
 }
@@ -377,34 +366,21 @@ func TestServeStoreMemBudget(t *testing.T) {
 // TestServeStoreTTL: an idle factorization past the TTL is gone at
 // next touch (lazy expiry; the entry is backdated instead of sleeping).
 func TestServeStoreTTL(t *testing.T) {
-	eng, err := repro.NewEngine(repro.EngineOptions{Workers: 1, MaxInflight: 4, DynamicRatio: 0.5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := newServer(eng, 8, defaultMaxBody, 0, time.Minute)
-	ts := httptest.NewServer(s.mux())
-	t.Cleanup(func() { ts.Close(); eng.Close() })
-
+	s, ts := newTestServer(t, Options{TTL: time.Minute})
 	resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":8,"seed":1,"workers":1}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("factor: %d %v", resp.StatusCode, out)
 	}
 	id := out["id"].(string)
-	if _, ok := s.lookup(id); !ok {
+	if !s.Store().SetLastUsed(id, time.Now().Add(-2*time.Minute)) {
 		t.Fatalf("%s missing right after store", id)
 	}
-	s.mu.Lock()
-	s.facs[id].last = time.Now().Add(-2 * time.Minute)
-	s.mu.Unlock()
 	resp, _ = postJSON(t, ts.URL+"/v1/solve", fmt.Sprintf(`{"id":%q,"b":[1,1,1,1,1,1,1,1]}`, id))
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("solve of TTL-expired %s: %d, want 404", id, resp.StatusCode)
 	}
-	s.mu.Lock()
-	count, bytes := len(s.facs), s.bytes
-	s.mu.Unlock()
-	if count != 0 || bytes != 0 {
-		t.Fatalf("expired entry not reaped: %d entries / %d bytes", count, bytes)
+	if st := s.Store().Stats(); st.Count != 0 || st.Bytes != 0 {
+		t.Fatalf("expired entry not reaped: %+v", st)
 	}
 }
 
@@ -412,7 +388,7 @@ func TestServeStoreTTL(t *testing.T) {
 // with a cheap 503 + Retry-After, no worker consumed; a negative
 // deadline is the caller's fault (400).
 func TestServeDeadlineShed503(t *testing.T) {
-	_, ts := newTestServer(t)
+	_, ts := newTestServer(t, Options{})
 	// 512^3 * 2/3 flops against the cold-engine rate prior is tens of
 	// milliseconds; a 1-microsecond SLO is infeasible on any hardware.
 	resp, out := postJSON(t, ts.URL+"/v1/factor",
@@ -434,21 +410,21 @@ func TestServeDeadlineShed503(t *testing.T) {
 	}
 }
 
-// TestServeSaturation429: admission at -maxinflight is 429 (back off),
+// TestServeSaturation429: admission at MaxInflight is 429 (back off),
 // distinct from the 503 shed.
 func TestServeSaturation429(t *testing.T) {
-	eng, err := repro.NewEngine(repro.EngineOptions{Workers: 1, MaxInflight: 1, DynamicRatio: 0.5})
+	eng, err := engine.New(engine.Options{Workers: 1, MaxInflight: 1, DynamicRatio: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(eng, 8, defaultMaxBody, 0, 0)
-	ts := httptest.NewServer(s.mux())
+	s := New(eng, Options{Keep: 8})
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); eng.Close() })
 
 	// Occupy the single admission slot with a job gated on a channel.
 	release := make(chan struct{})
 	var once sync.Once
-	gate, err := eng.SubmitFactor(repro.RandomMatrix(96, 96, 1), repro.Options{
+	gate, err := eng.SubmitFactor(mat.Random(96, 96, rand.New(rand.NewSource(1))), core.Options{
 		Workers: 1,
 		Noise:   func(int) time.Duration { once.Do(func() { <-release }); return 0 },
 	})
@@ -472,7 +448,7 @@ func TestServeSaturation429(t *testing.T) {
 // TestServeClassAndStats: replies echo the resolved job class and
 // /v1/stats exposes per-class digests plus the store snapshot.
 func TestServeClassAndStats(t *testing.T) {
-	_, ts := newTestServer(t)
+	_, ts := newTestServer(t, Options{})
 	resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":16,"seed":1,"workers":1}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("factor: %d %v", resp.StatusCode, out)
@@ -516,12 +492,15 @@ func TestServeClassAndStats(t *testing.T) {
 	if !ok || store["count"].(float64) != 2 {
 		t.Fatalf("store snapshot %v, want count 2", stats["store"])
 	}
+	if stats["draining"] != false {
+		t.Fatalf("draining %v, want false", stats["draining"])
+	}
 }
 
 // TestServeSolveHugeNRHSRejected: an absurd nrhs must be a 400, not an
 // overflow that sneaks past the n*nrhs length check.
 func TestServeSolveHugeNRHSRejected(t *testing.T) {
-	_, ts := newTestServer(t)
+	_, ts := newTestServer(t, Options{})
 	resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":3,"seed":2,"workers":1}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("factor: %d %v", resp.StatusCode, out)
@@ -533,5 +512,193 @@ func TestServeSolveHugeNRHSRejected(t *testing.T) {
 		fmt.Sprintf(`{"id":%q,"b":[1,2],"nrhs":6148914691236517206}`, id))
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("huge nrhs: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeHealthAndReadiness: /healthz is always 200 while serving;
+// /readyz flips to 503 once the shard drains.
+func TestServeHealthAndReadiness(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d, want 200", path, resp.StatusCode)
+		}
+	}
+	resp, out := postJSON(t, ts.URL+"/v1/admin/drain", `{}`)
+	if resp.StatusCode != http.StatusOK || out["draining"] != true {
+		t.Fatalf("drain: %d %v", resp.StatusCode, out)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServeDrainRefusesNewJobs: after /v1/admin/drain, factor, solve
+// and import all 503 (Retry-After set) while stats and export still
+// answer; drain is idempotent.
+func TestServeDrainRefusesNewJobs(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, out := postJSON(t, ts.URL+"/v1/factor", `{"n":8,"seed":1,"workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factor: %d %v", resp.StatusCode, out)
+	}
+	id := out["id"].(string)
+	for i := 0; i < 2; i++ { // idempotent
+		resp, out = postJSON(t, ts.URL+"/v1/admin/drain", `{}`)
+		if resp.StatusCode != http.StatusOK || out["draining"] != true {
+			t.Fatalf("drain #%d: %d %v", i+1, resp.StatusCode, out)
+		}
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/factor", `{"n":8,"seed":1,"workers":1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("factor while draining: %d, want 503 + Retry-After", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/solve", fmt.Sprintf(`{"id":%q,"b":[1,1,1,1,1,1,1,1]}`, id))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("solve while draining: %d, want 503", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/admin/import?id=x", strings.NewReader("data"))
+	req.Header.Set("Content-Type", "application/octet-stream")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("import while draining: %d, want 503", r2.StatusCode)
+	}
+	// Export of kept state still works (drain migration reads it).
+	r3, err := http.Get(ts.URL + "/v1/admin/export?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r3.Body)
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("export while draining: %d, want 200", r3.StatusCode)
+	}
+}
+
+// TestServeExportImportRoundTrip: a factorization exported from one
+// shard and imported into another solves identically, byte for byte.
+func TestServeExportImportRoundTrip(t *testing.T) {
+	_, src := newTestServer(t, Options{})
+	_, dst := newTestServer(t, Options{})
+
+	resp, out := postJSON(t, src.URL+"/v1/factor", `{"n":24,"seed":9,"workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factor: %d %v", resp.StatusCode, out)
+	}
+	id := out["id"].(string)
+
+	exp, err := http.Get(src.URL + "/v1/admin/export?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := io.ReadAll(exp.Body)
+	exp.Body.Close()
+	if err != nil || exp.StatusCode != http.StatusOK {
+		t.Fatalf("export: %d %v", exp.StatusCode, err)
+	}
+	if ct := exp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("export Content-Type %q", ct)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, dst.URL+"/v1/admin/import?id="+id, bytes.NewReader(wire))
+	req.Header.Set("Content-Type", "application/octet-stream")
+	imp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, imp.Body)
+	imp.Body.Close()
+	if imp.StatusCode != http.StatusOK {
+		t.Fatalf("import: %d", imp.StatusCode)
+	}
+
+	b := strings.Repeat("1,", 23) + "1"
+	_, x1 := postJSON(t, src.URL+"/v1/solve", fmt.Sprintf(`{"id":%q,"b":[%s]}`, id, b))
+	_, x2 := postJSON(t, dst.URL+"/v1/solve", fmt.Sprintf(`{"id":%q,"b":[%s]}`, id, b))
+	a1, a2 := x1["x"].([]any), x2["x"].([]any)
+	if len(a1) != 24 || len(a2) != 24 {
+		t.Fatalf("solution lengths %d / %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i].(float64) != a2[i].(float64) {
+			t.Fatalf("imported solve diverges at %d: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+
+	// Export listing includes the id; unknown export is 404; garbage
+	// import is 400.
+	lr, lout := func() (*http.Response, map[string]any) {
+		r, err := http.Get(src.URL + "/v1/admin/export")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var m map[string]any
+		json.NewDecoder(r.Body).Decode(&m)
+		return r, m
+	}()
+	if lr.StatusCode != http.StatusOK || len(lout["ids"].([]any)) != 1 {
+		t.Fatalf("export listing: %d %v", lr.StatusCode, lout)
+	}
+	nf, err := http.Get(src.URL + "/v1/admin/export?id=f-404")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Fatalf("export of unknown id: %d, want 404", nf.StatusCode)
+	}
+	bad, _ := http.NewRequest(http.MethodPost, dst.URL+"/v1/admin/import?id=z", strings.NewReader("junk"))
+	bad.Header.Set("Content-Type", "application/octet-stream")
+	br, err := http.DefaultClient.Do(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.Body.Close()
+	if br.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage import: %d, want 400", br.StatusCode)
+	}
+}
+
+// TestServeExplicitFactorID: a factor request carrying an id keeps the
+// factorization under exactly that id — the router's placement
+// contract.
+func TestServeExplicitFactorID(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	resp, out := postJSON(t, ts.URL+"/v1/factor", `{"id":"f-77","n":8,"seed":1,"workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factor: %d %v", resp.StatusCode, out)
+	}
+	if out["id"] != "f-77" {
+		t.Fatalf("explicit id echoed as %v", out["id"])
+	}
+	if _, ok := s.Store().Get("f-77"); !ok {
+		t.Fatal("explicit id not resident")
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/solve", `{"id":"f-77","b":[1,1,1,1,1,1,1,1]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve by explicit id: %d", resp.StatusCode)
 	}
 }

@@ -59,6 +59,7 @@ import (
 	"math/rand"
 
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -259,3 +260,38 @@ var (
 // NewEngine starts a resident engine; its workers and kernel
 // workspaces live until Close.
 func NewEngine(opt EngineOptions) (*Engine, error) { return engine.New(opt) }
+
+// ClusterRouter is the sharded serving tier's front door: it
+// consistent-hashes factorization keys across engine shards, factors
+// each key on its owner, replicates the serialized factorization for
+// solve read-scaling, and handles shard join, drain and failure. Serve
+// its Handler behind an HTTP listener (cmd/hsdrouter does exactly
+// that).
+type ClusterRouter = cluster.Router
+
+// ClusterShardInfo names one engine shard and where to reach it.
+type ClusterShardInfo = cluster.ShardInfo
+
+// ClusterRouterOptions configures NewClusterRouter: initial shards,
+// replication factor, ring virtual nodes, health probing and body
+// caps.
+type ClusterRouterOptions = cluster.RouterOptions
+
+// NewClusterRouter builds a cluster router over running hsdserve
+// shards.
+func NewClusterRouter(opt ClusterRouterOptions) (*ClusterRouter, error) {
+	return cluster.NewRouter(opt)
+}
+
+// EncodeFactorization serializes a factorization (exactly one of lu,
+// chol) into the cluster wire format: pivots plus packed factor blocks,
+// bit-exact, as shipped between shards for replication and migration.
+func EncodeFactorization(lu *Factorization, chol *CholeskyFactorization) ([]byte, error) {
+	return cluster.EncodeFactorization(lu, chol)
+}
+
+// DecodeFactorization inverts EncodeFactorization; the result carries
+// the factors and permutation only (run metadata does not travel).
+func DecodeFactorization(data []byte) (*Factorization, *CholeskyFactorization, error) {
+	return cluster.DecodeFactorization(data)
+}
