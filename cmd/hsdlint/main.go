@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	hsdlint [-json] [-list] [patterns...]
+//	hsdlint [-json] [-list] [-baseline file] [-write-baseline file] [-diff ref] [patterns...]
 //
 // Patterns are go package patterns (default "./..."), resolved in the
 // current directory. An argument naming a testdata directory (which go
@@ -15,13 +15,26 @@
 // files instead — that is how the golden tests and ad-hoc corpus runs
 // invoke the driver.
 //
-// Exit codes: 0 clean, 1 findings, 2 usage or load error.
+// Baseline mode lets a new analyzer land before its burn-down is done:
+// -write-baseline records today's findings to a file (conventionally
+// hsdlint.baseline.json); -baseline suppresses exactly those recorded
+// findings and fails only on new ones. -diff <ref> does the same
+// without a file: it runs the current analyzers over a throwaway git
+// worktree of <ref> and uses those findings as the baseline, so CI can
+// gate a branch on "no findings beyond main".
+//
+// -list prints each analyzer with a flow-sensitive tag: flow-sensitive
+// analyzers run on the CFG/dataflow engine, the rest match syntax.
+//
+// Exit codes: 0 clean (or only known findings), 1 new findings,
+// 2 usage or load error.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,20 +50,59 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("hsdlint", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
+	writeBaseline := fs.String("write-baseline", "", "run the suite and record the findings to this file, then exit 0")
+	diffRef := fs.String("diff", "", "suppress findings also present at this git ref; fail only on new ones")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
-		for _, a := range analysis.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
-		}
+		listAnalyzers(os.Stdout)
 		return 0
+	}
+	if *baselinePath != "" && *diffRef != "" {
+		fmt.Fprintln(os.Stderr, "hsdlint: -baseline and -diff are mutually exclusive")
+		return 2
 	}
 
 	findings, err := lint(fs.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+
+	if *writeBaseline != "" {
+		root, err := moduleRoot(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := saveBaseline(*writeBaseline, findings, root); err != nil {
+			fmt.Fprintln(os.Stderr, "hsdlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "hsdlint: recorded %d finding(s) in %s\n", len(findings), *writeBaseline)
+		return 0
+	}
+
+	known := 0
+	if *baselinePath != "" || *diffRef != "" {
+		var base map[baselineKey]int
+		if *diffRef != "" {
+			base, err = refBaseline(*diffRef, fs.Args())
+		} else {
+			base, err = loadBaseline(*baselinePath)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		root, err := moduleRoot(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		findings, known = subtractBaseline(findings, base, root)
 	}
 
 	if *jsonOut {
@@ -68,10 +120,25 @@ func run(args []string) int {
 			fmt.Println(f.String())
 		}
 	}
+	if known > 0 {
+		fmt.Fprintf(os.Stderr, "hsdlint: %d known finding(s) suppressed by baseline\n", known)
+	}
 	if len(findings) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// listAnalyzers prints the suite, tagging each analyzer with whether it
+// runs on the CFG/dataflow engine or matches syntax shapes.
+func listAnalyzers(w io.Writer) {
+	for _, a := range analysis.All() {
+		flow := "no"
+		if a.Flow {
+			flow = "yes"
+		}
+		fmt.Fprintf(w, "%-14s flow-sensitive: %-3s  %s\n", a.Name, flow, a.Doc)
+	}
 }
 
 // lint resolves the command-line arguments and runs the full suite.

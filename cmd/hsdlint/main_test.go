@@ -2,9 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 const corpusRoot = "../../internal/analysis/testdata/src"
@@ -67,5 +70,120 @@ func TestJSONFindings(t *testing.T) {
 func TestListExitsZero(t *testing.T) {
 	if got := run([]string{"-list"}); got != 0 {
 		t.Fatalf("run(-list) exit = %d, want 0", got)
+	}
+}
+
+// TestListShowsFlowTags pins the -list columns: every analyzer carries
+// a flow-sensitive tag, and both values occur in the current suite.
+func TestListShowsFlowTags(t *testing.T) {
+	var buf strings.Builder
+	listAnalyzers(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "flow-sensitive: yes") {
+		t.Errorf("-list output has no flow-sensitive analyzers:\n%s", out)
+	}
+	if !strings.Contains(out, "flow-sensitive: no") {
+		t.Errorf("-list output has no syntax-only analyzers:\n%s", out)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output lacks analyzer %s", a.Name)
+		}
+	}
+}
+
+// TestBaselineRoundTrip: recording a corpus's findings and replaying
+// them as a baseline suppresses every one of them — the multiset
+// subtraction is exact.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := filepath.Join(corpusRoot, "lockorder")
+	findings, err := lint([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("lockorder corpus produced no findings")
+	}
+	root, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "hsdlint.baseline.json")
+	if err := saveBaseline(path, findings, root); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, known := subtractBaseline(findings, base, root)
+	if len(fresh) != 0 || known != len(findings) {
+		t.Fatalf("round trip: %d fresh, %d known, want 0 fresh and %d known", len(fresh), known, len(findings))
+	}
+}
+
+// TestBaselineFailsOnNewFindings: a baseline missing one entry lets
+// exactly that finding through, and an entry's count absorbs only its
+// recorded number of duplicates.
+func TestBaselineFailsOnNewFindings(t *testing.T) {
+	dir := filepath.Join(corpusRoot, "errstatus")
+	findings, err := lint([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) < 2 {
+		t.Fatalf("errstatus corpus produced %d findings, need at least 2", len(findings))
+	}
+	root, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := toBaseline(findings[1:], root)
+	fresh, known := subtractBaseline(findings, base, root)
+	if len(fresh) != 1 || known != len(findings)-1 {
+		t.Fatalf("partial baseline: %d fresh, %d known, want 1 fresh and %d known", len(fresh), known, len(findings)-1)
+	}
+	if fresh[0].Message != findings[0].Message {
+		t.Fatalf("wrong finding survived: %s", fresh[0])
+	}
+}
+
+// TestWriteBaselineFlagExitsZero: -write-baseline records findings and
+// exits clean even on a corpus full of violations, and a follow-up run
+// with -baseline is clean too.
+func TestWriteBaselineFlagExitsZero(t *testing.T) {
+	dir := filepath.Join(corpusRoot, "goloop")
+	path := filepath.Join(t.TempDir(), "hsdlint.baseline.json")
+	if got := run([]string{"-write-baseline", path, dir}); got != 0 {
+		t.Fatalf("run(-write-baseline) exit = %d, want 0", got)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("baseline file not written: %v", err)
+	}
+	if got := run([]string{"-baseline", path, dir}); got != 0 {
+		t.Fatalf("run(-baseline) exit = %d, want 0 with all findings known", got)
+	}
+	if got := run([]string{dir}); got != 1 {
+		t.Fatalf("run without baseline exit = %d, want 1", got)
+	}
+}
+
+// TestBaselineDiffFlagsExclusive pins the usage error.
+func TestBaselineDiffFlagsExclusive(t *testing.T) {
+	if got := run([]string{"-baseline", "x.json", "-diff", "HEAD"}); got != 2 {
+		t.Fatalf("run(-baseline -diff) exit = %d, want 2", got)
+	}
+}
+
+// TestDiffAgainstHead runs the full -diff machinery: lint the module,
+// lint a worktree of HEAD with the same suite, fail only on findings
+// the working tree added. Whatever HEAD's state, the working tree
+// linting clean means -diff must be clean too.
+func TestDiffAgainstHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the module twice")
+	}
+	if got := run([]string{"-diff", "HEAD", "repro/..."}); got != 0 {
+		t.Fatalf("run(-diff HEAD) exit = %d, want 0", got)
 	}
 }

@@ -18,6 +18,23 @@
 //   - handlerguard: HTTP handlers must enforce method + Content-Type
 //     before decoding a request body.
 //
+// On top of those syntax-driven checks sits a function-level CFG
+// (cfg.go) and a forward-dataflow worklist solver (dataflow.go), and
+// four flow-sensitive analyzers for the concurrency and serving tier:
+//
+//   - lockorder: mutexes ranked with //hsd:lockrank must be acquired
+//     in declared order on every path, including one call deep
+//     (per-package acquisition summaries carry the chain).
+//   - goloop: every go statement needs visible termination evidence —
+//     a ctx.Done()/stop-channel select, a WaitGroup join, a joined
+//     channel send, or ranging over a channel.
+//   - ctxflow: a function with a ctx parameter must thread it (or a
+//     context derived from it); fresh context.Background()/TODO() in
+//     call position is confined to package main.
+//   - errstatus: errors are tested with errors.Is/As (never == or a
+//     type assertion), and in packages with an //hsd:statusmap table
+//     function, error-to-HTTP-status mappings live only there.
+//
 // The suite runs on stdlib tooling only (go/ast, go/parser, go/types;
 // package loading drives `go list`), keeping the module at zero
 // dependencies. Intentional violations are suppressed in source with
@@ -64,6 +81,9 @@ type Package struct {
 	// Sources maps file names to their raw content, so pragma handling
 	// can distinguish trailing comments from whole-line comments.
 	Sources map[string][]byte
+
+	// funcs is the lazily built function index (see FuncDecls).
+	funcs map[types.Object]*ast.FuncDecl
 }
 
 // Program is a set of packages loaded together: analyzers see the whole
@@ -73,6 +93,9 @@ type Program struct {
 	Fset *token.FileSet
 	// Packages are the analysis targets, in dependency order.
 	Packages []*Package
+
+	// cfgs is the shared CFG cache (see CFGOf).
+	cfgs map[*ast.FuncDecl]*CFG
 }
 
 // Reporter collects findings for one analyzer run.
@@ -103,6 +126,10 @@ func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
 type Analyzer struct {
 	Name string
 	Doc  string
+	// Flow marks analyzers built on the CFG/dataflow engine: their
+	// findings depend on statement order and branch structure, not just
+	// on syntax shapes.
+	Flow bool
 	Run  func(prog *Program, r *Reporter)
 }
 
@@ -114,6 +141,10 @@ func All() []*Analyzer {
 		AtomicField,
 		Pairing,
 		HandlerGuard,
+		LockOrder,
+		GoLoop,
+		CtxFlow,
+		ErrStatus,
 	}
 }
 

@@ -35,15 +35,11 @@ const bitIdentDirective = "hsd:bitident"
 
 func runBitIdent(prog *Program, r *Reporter) {
 	for _, pkg := range prog.Packages {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil || !hasDirective(fd.Doc, bitIdentDirective) {
-					continue
-				}
+		pkg.eachFuncDecl(func(fd *ast.FuncDecl) {
+			if hasDirective(fd.Doc, bitIdentDirective) {
 				checkBitIdent(pkg, fd, r)
 			}
-		}
+		})
 	}
 }
 

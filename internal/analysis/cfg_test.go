@@ -1,0 +1,384 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses a function body and builds its CFG.
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+func blocksOfKind(g *CFG, kind string) []*Block {
+	var out []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func oneBlock(t *testing.T, g *CFG, kind string) *Block {
+	t.Helper()
+	bs := blocksOfKind(g, kind)
+	if len(bs) != 1 {
+		t.Fatalf("want exactly one %q block, got %d", kind, len(bs))
+	}
+	return bs[0]
+}
+
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g := buildTestCFG(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	} else {
+		x = 3
+	}
+	_ = x
+`)
+	then := oneBlock(t, g, "if.then")
+	els := oneBlock(t, g, "if.else")
+	after := oneBlock(t, g, "if.after")
+	if !hasEdge(g.Entry, then) || !hasEdge(g.Entry, els) {
+		t.Errorf("cond block should branch to both then and else")
+	}
+	if hasEdge(g.Entry, after) {
+		t.Errorf("if with else must not short-circuit cond -> after")
+	}
+	if !hasEdge(then, after) || !hasEdge(els, after) {
+		t.Errorf("both arms should rejoin at if.after")
+	}
+	if len(after.Preds) != 2 {
+		t.Errorf("if.after preds = %d, want 2", len(after.Preds))
+	}
+}
+
+func TestCFGIfNoElse(t *testing.T) {
+	g := buildTestCFG(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	}
+	_ = x
+`)
+	after := oneBlock(t, g, "if.after")
+	if !hasEdge(g.Entry, after) {
+		t.Errorf("if without else needs the cond -> after fallthrough edge")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := buildTestCFG(t, `
+	s := 0
+	for i := 0; i < 10; i++ {
+		s += i
+	}
+	_ = s
+`)
+	head := oneBlock(t, g, "for.head")
+	body := oneBlock(t, g, "for.body")
+	post := oneBlock(t, g, "for.post")
+	after := oneBlock(t, g, "for.after")
+	if !hasEdge(head, body) || !hasEdge(head, after) {
+		t.Errorf("conditioned loop head must branch to body and after")
+	}
+	if !hasEdge(body, post) || !hasEdge(post, head) {
+		t.Errorf("want body -> post -> head back edge")
+	}
+}
+
+func TestCFGForeverLoop(t *testing.T) {
+	g := buildTestCFG(t, `
+	for {
+	}
+`)
+	head := oneBlock(t, g, "for.head")
+	after := oneBlock(t, g, "for.after")
+	if hasEdge(head, after) {
+		t.Errorf("for {} must not have a head -> after edge")
+	}
+	if g.Reachable(after) {
+		t.Errorf("for.after of an unbroken for {} must be unreachable")
+	}
+	if g.Reachable(g.Exit) {
+		t.Errorf("exit must be unreachable past for {}")
+	}
+}
+
+func TestCFGForeverLoopWithBreak(t *testing.T) {
+	g := buildTestCFG(t, `
+	for {
+		break
+	}
+`)
+	after := oneBlock(t, g, "for.after")
+	if !g.Reachable(after) {
+		t.Errorf("break must make for.after reachable")
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	g := buildTestCFG(t, `
+	s := 0
+	for _, v := range []int{1, 2} {
+		s += v
+	}
+	_ = s
+`)
+	head := oneBlock(t, g, "range.head")
+	body := oneBlock(t, g, "range.body")
+	after := oneBlock(t, g, "range.after")
+	if !hasEdge(head, body) || !hasEdge(head, after) || !hasEdge(body, head) {
+		t.Errorf("range loop wants head -> {body, after} and body -> head")
+	}
+}
+
+func TestCFGSwitch(t *testing.T) {
+	g := buildTestCFG(t, `
+	x := 1
+	switch x {
+	case 1:
+		x = 10
+	case 2:
+		x = 20
+	}
+	_ = x
+`)
+	cases := blocksOfKind(g, "switch.case")
+	after := oneBlock(t, g, "switch.after")
+	if len(cases) != 2 {
+		t.Fatalf("want 2 case blocks, got %d", len(cases))
+	}
+	if !hasEdge(g.Entry, after) {
+		t.Errorf("switch without default needs tag -> after edge")
+	}
+	for i, c := range cases {
+		if !hasEdge(g.Entry, c) {
+			t.Errorf("tag should branch to case %d", i)
+		}
+		if !hasEdge(c, after) {
+			t.Errorf("case %d should flow to after", i)
+		}
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildTestCFG(t, `
+	x := 1
+	switch x {
+	case 1:
+		fallthrough
+	case 2:
+		x = 20
+	default:
+		x = 0
+	}
+	_ = x
+`)
+	cases := blocksOfKind(g, "switch.case")
+	def := oneBlock(t, g, "switch.default")
+	after := oneBlock(t, g, "switch.after")
+	if len(cases) != 2 {
+		t.Fatalf("want 2 case blocks, got %d", len(cases))
+	}
+	if !hasEdge(cases[0], cases[1]) {
+		t.Errorf("fallthrough must edge case 1 into case 2's body")
+	}
+	if hasEdge(cases[0], after) {
+		t.Errorf("a case ending in fallthrough must not also flow to after")
+	}
+	if hasEdge(g.Entry, after) {
+		t.Errorf("switch with default must not have tag -> after edge")
+	}
+	if !hasEdge(def, after) {
+		t.Errorf("default should flow to after")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := buildTestCFG(t, `
+	a := make(chan int)
+	b := make(chan int)
+	select {
+	case <-a:
+	case v := <-b:
+		_ = v
+	default:
+	}
+`)
+	comms := blocksOfKind(g, "select.comm")
+	def := oneBlock(t, g, "select.default")
+	after := oneBlock(t, g, "select.after")
+	if len(comms) != 2 {
+		t.Fatalf("want 2 comm blocks, got %d", len(comms))
+	}
+	for _, c := range comms {
+		if !hasEdge(c, after) {
+			t.Errorf("comm clause should flow to select.after")
+		}
+		if len(c.Stmts) == 0 {
+			t.Errorf("comm statement should be lowered into its clause block")
+		}
+	}
+	if !hasEdge(def, after) {
+		t.Errorf("default clause should flow to select.after")
+	}
+}
+
+func TestCFGEmptySelectBlocksForever(t *testing.T) {
+	g := buildTestCFG(t, `
+	select {}
+`)
+	after := oneBlock(t, g, "select.after")
+	if g.Reachable(after) {
+		t.Errorf("select {} blocks forever: its after block must be unreachable")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	g := buildTestCFG(t, `
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	_ = i
+`)
+	label := oneBlock(t, g, "label.loop")
+	// The goto lives in the if.then block and must edge back to the label.
+	then := oneBlock(t, g, "if.then")
+	if !hasEdge(then, label) {
+		t.Errorf("goto loop must edge back to the label block")
+	}
+	if !g.Reachable(label) {
+		t.Errorf("label block should be reachable")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildTestCFG(t, `
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+`)
+	afters := blocksOfKind(g, "for.after")
+	if len(afters) != 2 {
+		t.Fatalf("want 2 for.after blocks, got %d", len(afters))
+	}
+	// The outer loop's after must be reachable (via the labeled break);
+	// both loops are for {} so nothing else exits.
+	reachable := 0
+	for _, a := range afters {
+		if g.Reachable(a) {
+			reachable++
+		}
+	}
+	if reachable != 1 {
+		t.Errorf("exactly the outer for.after should be reachable via break outer, got %d reachable", reachable)
+	}
+	if !g.Reachable(g.Exit) {
+		t.Errorf("function exit should be reachable through the labeled break")
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	g := buildTestCFG(t, `
+	x := 1
+	if x > 0 {
+		return
+	}
+	return
+	_ = x
+`)
+	dead := blocksOfKind(g, "unreachable")
+	if len(dead) == 0 {
+		t.Fatalf("statements after return should land in an unreachable block")
+	}
+	for _, d := range dead {
+		if g.Reachable(d) {
+			t.Errorf("unreachable block %d is reachable", d.Index)
+		}
+	}
+}
+
+func TestCFGPanicIsTerminal(t *testing.T) {
+	g := buildTestCFG(t, `
+	panic("no")
+	_ = 1
+`)
+	dead := blocksOfKind(g, "unreachable")
+	if len(dead) != 1 {
+		t.Fatalf("code after panic should be unreachable, got %d unreachable blocks", len(dead))
+	}
+	if !hasEdge(g.Entry, g.Exit) {
+		t.Errorf("panic should edge to the synthetic exit")
+	}
+}
+
+func TestCFGDefersCollectedNotEdged(t *testing.T) {
+	g := buildTestCFG(t, `
+	mu := 0
+	defer func() { _ = mu }()
+	if mu > 0 {
+		return
+	}
+	defer func() {}()
+`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("want 2 collected defers, got %d", len(g.Defers))
+	}
+	// Defers are statements in their blocks, not control-flow edges: the
+	// block count must be the same as without them (no defer.* kinds).
+	for _, b := range g.Blocks {
+		if b.Kind == "defer" {
+			t.Errorf("defers must not create blocks")
+		}
+	}
+}
+
+func TestCFGExitSingle(t *testing.T) {
+	g := buildTestCFG(t, `
+	x := 0
+	if x > 0 {
+		return
+	}
+	for i := 0; i < 3; i++ {
+		x += i
+	}
+`)
+	if g.Exit == nil || g.Exit.Kind != "exit" {
+		t.Fatalf("CFG must have the synthetic exit block")
+	}
+	if len(g.Exit.Preds) < 2 {
+		t.Errorf("both the return and the fall-off path should reach exit; preds = %d", len(g.Exit.Preds))
+	}
+	if len(g.Exit.Succs) != 0 {
+		t.Errorf("exit block must have no successors")
+	}
+}

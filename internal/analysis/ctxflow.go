@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context threading. Two rules:
+//
+//  1. A function that takes a context.Context must thread it (or a
+//     context derived from it) to every ctx-accepting callee. Passing a
+//     context that is not derived from the parameter severs
+//     cancellation: the serving tier's deadline stops propagating and a
+//     cancelled request keeps burning factorization time.
+//  2. context.Background() / context.TODO() may not appear in call
+//     position outside package main. Fresh roots belong at the program
+//     edge; inner layers that genuinely need one (compat wrappers,
+//     fire-and-forget probes) say so with //hsd:allow ctxflow <why>.
+//
+// Derivation is computed flow-sensitively over the CFG: an object
+// becomes derived when it is assigned from an expression mentioning a
+// derived object (ctx2, cancel := context.WithTimeout(ctx, d) marks
+// ctx2), so a rebind after the call site doesn't count.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "ctx-taking functions must thread their ctx; no fresh Background/TODO outside main",
+	Flow: true,
+	Run:  runCtxFlow,
+}
+
+// derivedSet is the dataflow fact: objects derived from the function's
+// context parameter.
+type derivedSet map[types.Object]bool
+
+type derivedLattice struct{}
+
+func (derivedLattice) Bottom() derivedSet { return derivedSet{} }
+func (derivedLattice) Join(a, b derivedSet) derivedSet {
+	out := make(derivedSet, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+func (derivedLattice) Equal(a, b derivedSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+func (derivedLattice) Clone(a derivedSet) derivedSet {
+	out := make(derivedSet, len(a))
+	for k := range a {
+		out[k] = true
+	}
+	return out
+}
+
+func runCtxFlow(prog *Program, r *Reporter) {
+	for _, pkg := range prog.Packages {
+		isMain := pkg.Types.Name() == "main"
+		pkg.eachFuncDecl(func(fd *ast.FuncDecl) {
+			checkCtxFlowFunc(prog, pkg, fd, isMain, r)
+		})
+	}
+}
+
+// ctxParamObj returns the object of fd's first context.Context
+// parameter, or nil.
+func ctxParamObj(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// isFreshCtxCall matches context.Background() / context.TODO(),
+// returning the function name.
+func isFreshCtxCall(info *types.Info, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	f := funcObj(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "context" {
+		return "", false
+	}
+	if f.Name() == "Background" || f.Name() == "TODO" {
+		return f.Name(), true
+	}
+	return "", false
+}
+
+func checkCtxFlowFunc(prog *Program, pkg *Package, fd *ast.FuncDecl, isMain bool, r *Reporter) {
+	ctxParam := ctxParamObj(pkg.Info, fd)
+	if ctxParam == nil && isMain {
+		return
+	}
+
+	lat := derivedLattice{}
+	tr := func(stmt ast.Stmt, in derivedSet) derivedSet {
+		markDerived(pkg.Info, stmt, in)
+		return in
+	}
+
+	var ins map[*Block]derivedSet
+	g := prog.CFGOf(fd)
+	if ctxParam != nil {
+		entry := derivedSet{ctxParam: true}
+		ins = ForwardSolve(g, lat, tr, entry)
+	}
+
+	checkCall := func(call *ast.CallExpr, derived derivedSet) {
+		sig := calleeSignature(pkg.Info, call)
+		for i, arg := range call.Args {
+			if name, ok := isFreshCtxCall(pkg.Info, arg); ok {
+				if isMain {
+					continue
+				}
+				if ctxParam != nil {
+					r.Reportf(arg.Pos(), "context.%s() passed to a callee while %s already has a ctx parameter: thread it", name, fd.Name.Name)
+				} else {
+					r.Reportf(arg.Pos(), "context.%s() in call position outside package main: accept a ctx from the caller or annotate //hsd:allow ctxflow <why>", name)
+				}
+				continue
+			}
+			if ctxParam == nil || derived == nil {
+				continue
+			}
+			// Only police args the callee declares as context.Context.
+			if sig == nil || i >= sig.Params().Len() {
+				continue
+			}
+			if !isContextType(sig.Params().At(i).Type()) {
+				continue
+			}
+			if !exprMentions(pkg.Info, arg, derived) {
+				r.Reportf(arg.Pos(), "ctx argument is not derived from %s's ctx parameter: cancellation will not propagate", fd.Name.Name)
+			}
+		}
+	}
+
+	for _, b := range g.Blocks {
+		if !g.Reachable(b) {
+			continue
+		}
+		var derived derivedSet
+		if ins != nil {
+			derived = lat.Clone(ins[b])
+		}
+		for _, stmt := range b.Stmts {
+			// Check before transfer: a stmt's calls see facts from before
+			// its own assignments.
+			s := stmt
+			ast.Inspect(s, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkCall(call, derived)
+				}
+				return true
+			})
+			if derived != nil {
+				markDerived(pkg.Info, s, derived)
+			}
+		}
+	}
+}
+
+// markDerived applies one statement's assignments to the derived set:
+// any LHS assigned from an expression mentioning a derived object
+// becomes derived.
+func markDerived(info *types.Info, stmt ast.Stmt, set derivedSet) {
+	mark := func(lhs []ast.Expr, rhs []ast.Expr) {
+		fromDerived := false
+		for _, r := range rhs {
+			if exprMentions(info, r, set) {
+				fromDerived = true
+				break
+			}
+		}
+		for i, l := range lhs {
+			id, ok := ast.Unparen(l).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			src := fromDerived
+			if len(rhs) == len(lhs) {
+				src = exprMentions(info, rhs[i], set)
+			}
+			if src {
+				set[obj] = true
+			} else {
+				delete(set, obj) // rebind from a non-derived source
+			}
+		}
+	}
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		mark(s.Lhs, s.Rhs)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, n := range vs.Names {
+					lhs[i] = n
+				}
+				mark(lhs, vs.Values)
+			}
+		}
+	}
+}
+
+// exprMentions reports whether e references any object in set.
+func exprMentions(info *types.Info, e ast.Expr, set derivedSet) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

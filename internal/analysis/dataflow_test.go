@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// nameSet is the synthetic test lattice: the set of variable names
+// assigned so far (a may-analysis, join = union).
+type nameSet map[string]bool
+
+type nameLattice struct{}
+
+func (nameLattice) Bottom() nameSet { return nameSet{} }
+func (nameLattice) Join(a, b nameSet) nameSet {
+	out := make(nameSet, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+func (nameLattice) Equal(a, b nameSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+func (nameLattice) Clone(a nameSet) nameSet {
+	out := make(nameSet, len(a))
+	for k := range a {
+		out[k] = true
+	}
+	return out
+}
+
+// assignedNames is the test transfer function: record LHS identifiers
+// of assignments.
+func assignedNames(stmt ast.Stmt, in nameSet) nameSet {
+	if as, ok := stmt.(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				in[id.Name] = true
+			}
+		}
+	}
+	return in
+}
+
+func TestForwardSolveBranchJoin(t *testing.T) {
+	g := buildTestCFG(t, `
+	a := 1
+	if a > 0 {
+		b := 2
+		_ = b
+	} else {
+		c := 3
+		_ = c
+	}
+	_ = a
+`)
+	ins := ForwardSolve[nameSet](g, nameLattice{}, assignedNames, nameSet{})
+	after := oneBlock(t, g, "if.after")
+	got := ins[after]
+	for _, want := range []string{"a", "b", "c"} {
+		if !got[want] {
+			t.Errorf("if.after IN fact missing %q (may-analysis joins both arms); got %v", want, got)
+		}
+	}
+}
+
+func TestForwardSolveLoopFixpoint(t *testing.T) {
+	// The loop body assigns b; the back edge must propagate it into the
+	// head's IN fact — that requires a second pass over the head, i.e. a
+	// genuine fixpoint, not a single sweep.
+	g := buildTestCFG(t, `
+	a := 1
+	for a < 10 {
+		b := a
+		a = b + 1
+	}
+	_ = a
+`)
+	ins := ForwardSolve[nameSet](g, nameLattice{}, assignedNames, nameSet{})
+	head := oneBlock(t, g, "for.head")
+	if !ins[head]["b"] {
+		t.Errorf("loop head IN fact should include %q via the back edge; got %v", "b", ins[head])
+	}
+	after := oneBlock(t, g, "for.after")
+	for _, want := range []string{"a", "b"} {
+		if !ins[after][want] {
+			t.Errorf("for.after IN fact missing %q; got %v", want, ins[after])
+		}
+	}
+}
+
+func TestForwardSolveEntrySeed(t *testing.T) {
+	g := buildTestCFG(t, `
+	x := 1
+	_ = x
+`)
+	ins := ForwardSolve[nameSet](g, nameLattice{}, assignedNames, nameSet{"seed": true})
+	if !ins[g.Entry]["seed"] {
+		t.Errorf("entry fact should carry the seed")
+	}
+	if !ins[g.Exit]["seed"] || !ins[g.Exit]["x"] {
+		t.Errorf("exit IN fact should carry seed and x; got %v", ins[g.Exit])
+	}
+}
+
+// intLattice is deliberately unbounded: transfer keeps incrementing, so
+// on a cyclic CFG the solver can never stabilize. The maxPasses guard
+// must turn that into a panic rather than a hang.
+type intLattice struct{}
+
+func (intLattice) Bottom() int { return 0 }
+func (intLattice) Join(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+func (intLattice) Equal(a, b int) bool { return a == b }
+func (intLattice) Clone(a int) int     { return a }
+
+func TestForwardSolveDivergencePanics(t *testing.T) {
+	g := buildTestCFG(t, `
+	for {
+		_ = 1
+	}
+`)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("an unbounded lattice on a cyclic CFG must panic, not loop")
+		}
+	}()
+	ForwardSolve[int](g, intLattice{}, func(stmt ast.Stmt, in int) int {
+		return in + 1
+	}, 0)
+}
+
+func TestFoldBlockReplaysStatements(t *testing.T) {
+	g := buildTestCFG(t, `
+	a := 1
+	b := 2
+	_ = a
+	_ = b
+`)
+	out := FoldBlock[nameSet](g.Entry, nameLattice{}, assignedNames, nameSet{})
+	if !out["a"] || !out["b"] {
+		t.Errorf("FoldBlock should apply every statement; got %v", out)
+	}
+}

@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// GoLoop demands evidence of termination for every goroutine launched
+// with a `go` statement. A goroutine with no shutdown path is how this
+// codebase leaks: the engine's workers, the router's prober and the
+// serving tier's waiters all run forever unless something tells them to
+// stop, and "something" must be visible in the source. Accepted
+// evidence, checked against the launched function's body (a literal, or
+// a same-package declaration):
+//
+//   - it selects on / receives from / ranges over a ctx.Done() channel
+//     or a channel whose name says stop/done/quit/exit/cancel/closing;
+//   - it calls Done on a sync.WaitGroup (directly or deferred), i.e. a
+//     joiner exists;
+//   - it sends on a channel the launching function later receives from
+//     (the errc := make(...); go func(){ errc <- ... }(); <-errc shape);
+//   - an //hsd:allow goloop <why> pragma for the deliberate cases.
+//
+// Anything else is reported at the go statement.
+var GoLoop = &Analyzer{
+	Name: "goloop",
+	Doc:  "every go statement needs provable termination (ctx/done select, WaitGroup join, or joined channel send)",
+	Flow: true,
+	Run:  runGoLoop,
+}
+
+// stopNameRE matches channel identifiers that conventionally signal
+// shutdown.
+var stopNameRE = regexp.MustCompile(`(?i)^(stop|done|quit|exit|cancel|clos)`)
+
+func runGoLoop(prog *Program, r *Reporter) {
+	for _, pkg := range prog.Packages {
+		funcs := pkg.FuncDecls()
+		pkg.eachFuncDecl(func(fd *ast.FuncDecl) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if goTerminates(pkg, funcs, fd, gs) {
+					return true
+				}
+				r.Reportf(gs.Pos(), "goroutine has no visible termination: select on a done/stop channel, join it with a WaitGroup, or annotate //hsd:allow goloop <why>")
+				return true
+			})
+		})
+	}
+}
+
+// goTerminates looks for termination evidence for one go statement.
+func goTerminates(pkg *Package, funcs map[types.Object]*ast.FuncDecl, enclosing *ast.FuncDecl, gs *ast.GoStmt) bool {
+	body := launchedBody(pkg, funcs, gs.Call)
+	if body == nil {
+		// Launching through a function value or another package's
+		// function: the body is out of reach, so give the launch the
+		// benefit of the doubt only if the call site itself passes a
+		// shutdown signal (a ctx or a stop-named channel argument).
+		for _, arg := range gs.Call.Args {
+			if isCtxExpr(pkg.Info, arg) || isStopChan(pkg.Info, arg) {
+				return true
+			}
+		}
+		return false
+	}
+	if bodyHasTerminationSignal(pkg, funcs, body, 0) {
+		return true
+	}
+	// Channel-join shape: the goroutine sends on a channel that the
+	// enclosing function receives from after the launch.
+	return sendsOnJoinedChan(pkg.Info, enclosing, gs, body)
+}
+
+// launchedBody resolves the body of the launched function: a literal,
+// or a same-package FuncDecl (function or method).
+func launchedBody(pkg *Package, funcs map[types.Object]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if obj := funcObj(pkg.Info, call); obj != nil && obj.Pkg() == pkg.Types {
+		if fd, ok := funcs[types.Object(obj)]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// bodyHasTerminationSignal walks a launched body for direct evidence:
+// a shutdown-channel receive/select/range or a WaitGroup.Done. It
+// follows same-package calls one level deep (the `go e.worker()` shape
+// where worker itself selects on stop).
+func bodyHasTerminationSignal(pkg *Package, funcs map[types.Object]*ast.FuncDecl, body *ast.BlockStmt, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && isShutdownRecv(pkg.Info, n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isShutdownRecv(pkg.Info, n.X) {
+				found = true
+			}
+			// Ranging over any channel is itself a termination path: the
+			// loop ends when the channel closes, so the goroutine's
+			// lifetime is the channel's.
+			if t, ok := pkg.Info.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cl := range n.Body.List {
+				cc := cl.(*ast.CommClause)
+				if cc.Comm == nil {
+					continue
+				}
+				var recv ast.Expr
+				switch c := cc.Comm.(type) {
+				case *ast.ExprStmt:
+					if u, ok := c.X.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+						recv = u.X
+					}
+				case *ast.AssignStmt:
+					if len(c.Rhs) == 1 {
+						if u, ok := c.Rhs[0].(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+							recv = u.X
+						}
+					}
+				}
+				if recv != nil && isShutdownRecv(pkg.Info, recv) {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupDone(pkg.Info, n) {
+				found = true
+				return false
+			}
+			if depth < 1 {
+				if obj := funcObj(pkg.Info, n); obj != nil && obj.Pkg() == pkg.Types {
+					if fd, ok := funcs[types.Object(obj)]; ok {
+						if bodyHasTerminationSignal(pkg, funcs, fd.Body, depth+1) {
+							found = true
+							return false
+						}
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isShutdownRecv reports whether receiving from e is shutdown evidence:
+// ctx.Done() or a channel whose terminal name matches stopNameRE.
+func isShutdownRecv(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if recv, name := recvOf(call); recv != nil && name == "Done" && isCtxExpr(info, recv) {
+			return true
+		}
+	}
+	return isStopChan(info, e)
+}
+
+// isStopChan reports whether e is a channel-typed expression whose
+// terminal identifier carries a shutdown name.
+func isStopChan(info *types.Info, e ast.Expr) bool {
+	t, ok := info.Types[ast.Unparen(e)]
+	if !ok || t.Type == nil {
+		return false
+	}
+	if _, isChan := t.Type.Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	obj := terminalObj(info, e)
+	return obj != nil && stopNameRE.MatchString(obj.Name())
+}
+
+// isCtxExpr reports whether e has static type context.Context.
+func isCtxExpr(info *types.Info, e ast.Expr) bool {
+	t, ok := info.Types[ast.Unparen(e)]
+	if !ok || t.Type == nil {
+		return false
+	}
+	return isContextType(t.Type)
+}
+
+// isContextType matches context.Context (the interface itself).
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isWaitGroupDone matches wg.Done() / x.wg.Done() on sync.WaitGroup.
+func isWaitGroupDone(info *types.Info, call *ast.CallExpr) bool {
+	recv, name := recvOf(call)
+	if recv == nil || name != "Done" {
+		return false
+	}
+	t, ok := info.Types[recv]
+	if !ok || t.Type == nil {
+		return false
+	}
+	return isNamedType(t.Type, "sync", "WaitGroup")
+}
+
+// sendsOnJoinedChan reports whether the goroutine's body sends on a
+// channel object that the enclosing function receives from outside the
+// go statement (the launch-then-join shape).
+func sendsOnJoinedChan(info *types.Info, enclosing *ast.FuncDecl, gs *ast.GoStmt, body *ast.BlockStmt) bool {
+	sent := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok {
+			if obj := terminalObj(info, s.Chan); obj != nil {
+				sent[obj] = true
+			}
+		}
+		return true
+	})
+	if len(sent) == 0 {
+		return false
+	}
+	joined := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		if n == gs {
+			return false // don't credit the goroutine's own receives
+		}
+		recvTarget := func(e ast.Expr) {
+			if obj := terminalObj(info, e); obj != nil && sent[obj] {
+				joined = true
+			}
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				recvTarget(n.X)
+			}
+		case *ast.RangeStmt:
+			recvTarget(n.X)
+		}
+		return !joined
+	})
+	return joined
+}

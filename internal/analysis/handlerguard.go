@@ -176,10 +176,10 @@ func requestParam(pkg *Package, params *ast.FieldList) *types.Var {
 			if !ok {
 				continue
 			}
-			if isHTTPType(v.Type(), "ResponseWriter") {
+			if isNamedType(v.Type(), "net/http", "ResponseWriter") {
 				hasWriter = true
 			}
-			if p, ok := v.Type().(*types.Pointer); ok && isHTTPType(p.Elem(), "Request") {
+			if p, ok := v.Type().(*types.Pointer); ok && isNamedType(p.Elem(), "net/http", "Request") {
 				req = v
 			}
 		}
@@ -197,17 +197,6 @@ func isHandlerSig(pkg *Package, params *ast.FieldList) bool {
 		return false
 	}
 	return requestParam(pkg, params) != nil
-}
-
-// isHTTPType reports whether t is net/http's named type with the given
-// name.
-func isHTTPType(t types.Type, name string) bool {
-	n, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := n.Obj()
-	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
 }
 
 // summarizeHandler walks body in source order tracking the checks

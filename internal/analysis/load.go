@@ -3,6 +3,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -57,7 +58,7 @@ func Load(dir string, patterns []string) (*Program, error) {
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPkg
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
@@ -199,7 +200,7 @@ func (ld *loader) resolveExports(dir string, paths []string) error {
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p struct{ ImportPath, Export string }
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return fmt.Errorf("analysis: decoding go list output: %v", err)

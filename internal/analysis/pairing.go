@@ -35,16 +35,10 @@ var Pairing = &Analyzer{
 
 func runPairing(prog *Program, r *Reporter) {
 	for _, pkg := range prog.Packages {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				checkReservePairing(pkg, fd, r)
-				checkPanelPairing(pkg, fd, r)
-			}
-		}
+		pkg.eachFuncDecl(func(fd *ast.FuncDecl) {
+			checkReservePairing(pkg, fd, r)
+			checkPanelPairing(pkg, fd, r)
+		})
 	}
 }
 

@@ -1,0 +1,59 @@
+// Package ctxflow is the ctxflow analyzer corpus: context threading
+// and fresh-root discipline. Lines with trailing "want" comments expect
+// a finding whose message matches the pattern.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func callee(ctx context.Context) {}
+
+func calleeTwo(ctx context.Context, n int) int { return n }
+
+// Threads passes the parameter straight through: clean.
+func Threads(ctx context.Context) {
+	callee(ctx)
+}
+
+// Derives passes contexts built from the parameter: clean.
+func Derives(ctx context.Context) {
+	ctx2, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	callee(ctx2)
+	calleeTwo(context.WithValue(ctx, struct{}{}, 1), 7)
+}
+
+// FreshInsteadOfParam drops the caller's context on the floor.
+func FreshInsteadOfParam(ctx context.Context) {
+	callee(context.Background()) // want `context.Background\(\) passed to a callee while FreshInsteadOfParam already has a ctx parameter`
+}
+
+// FreshWithoutParam has no ctx to thread, which is exactly the problem:
+// it should accept one.
+func FreshWithoutParam() {
+	callee(context.TODO()) // want `context.TODO\(\) in call position outside package main`
+}
+
+// Rebind demonstrates the flow sensitivity: c is underived until it is
+// reassigned from the parameter. (The TODO in an assignment is not call
+// position; the damage shows up where c is passed on.)
+func Rebind(ctx context.Context) {
+	c := context.TODO()
+	callee(c) // want `ctx argument is not derived from Rebind's ctx parameter`
+	c = ctx
+	callee(c)
+}
+
+// Suppressed is the pragma-silenced twin of FreshInsteadOfParam: a
+// deliberate fresh root.
+func Suppressed(ctx context.Context) {
+	callee(context.Background()) //hsd:allow ctxflow corpus twin: detached audit write
+}
+
+// NonCtxArgsIgnored: only context-typed parameter positions are
+// policed.
+func NonCtxArgsIgnored(ctx context.Context) int {
+	return calleeTwo(ctx, 42)
+}

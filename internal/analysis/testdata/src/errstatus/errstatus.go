@@ -1,0 +1,125 @@
+// Package errstatus is the errstatus analyzer corpus: error testing
+// discipline and the status-mapping table. Lines with trailing "want"
+// comments expect a finding whose message matches the pattern.
+package errstatus
+
+import (
+	"errors"
+	"net/http"
+)
+
+// ErrGone is a sentinel; code paths wrap it, so == misses it.
+var ErrGone = errors.New("gone")
+
+// codeError is a typed error carried through wrapping.
+type codeError struct{ code int }
+
+func (e *codeError) Error() string { return "code error" }
+
+// SentinelCompare tests a sentinel with ==.
+func SentinelCompare(err error) bool {
+	if err == ErrGone { // want `comparing errors with == misses wrapped errors: use errors.Is`
+		return true
+	}
+	return false
+}
+
+// SentinelNotEqual is the != spelling of the same mistake.
+func SentinelNotEqual(err error) bool {
+	return err != ErrGone // want `comparing errors with != misses wrapped errors: use errors.Is`
+}
+
+// NilCompare is idiomatic and stays silent.
+func NilCompare(err error) bool {
+	return err == nil
+}
+
+// UsesIs is the correct form.
+func UsesIs(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+// DirectAssert type-asserts an error.
+func DirectAssert(err error) int {
+	if ce, ok := err.(*codeError); ok { // want `type-asserting an error misses wrapped errors: use errors.As`
+		return ce.code
+	}
+	return 0
+}
+
+// UsesAs is the correct form.
+func UsesAs(err error) int {
+	var ce *codeError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	return 0
+}
+
+// TypeSwitchIsIdiomatic: a type switch over an error is left alone
+// (it reads as dispatch, not sentinel matching).
+func TypeSwitchIsIdiomatic(err error) int {
+	switch e := err.(type) {
+	case *codeError:
+		return e.code
+	default:
+		return 0
+	}
+}
+
+// Suppressed is the pragma-silenced twin of SentinelCompare: identity
+// comparison on purpose.
+func Suppressed(err error) bool {
+	return err == ErrGone //hsd:allow errstatus corpus twin: identity check is intended
+}
+
+// statusOf is this package's error-to-status table: the one place
+// errors become HTTP statuses.
+//
+//hsd:statusmap
+func statusOf(w http.ResponseWriter, err error) {
+	var ce *codeError
+	if errors.As(err, &ce) {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		return
+	}
+	if errors.Is(err, ErrGone) {
+		w.WriteHeader(http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusInternalServerError)
+}
+
+// InlineMapping maps an error to a status outside the table.
+func InlineMapping(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrGone) {
+		w.WriteHeader(http.StatusGone) // want `inline error-to-status mapping \(410\) outside the //hsd:statusmap table`
+		return
+	}
+	statusOf(w, err)
+}
+
+// InlineHelperMapping routes the status through a helper that takes the
+// ResponseWriter: still an inline mapping.
+func InlineHelperMapping(w http.ResponseWriter, err error) {
+	var ce *codeError
+	if errors.As(err, &ce) {
+		reply(w, http.StatusBadRequest, "bad") // want `inline error-to-status mapping \(400\) outside the //hsd:statusmap table`
+		return
+	}
+	statusOf(w, err)
+}
+
+func reply(w http.ResponseWriter, status int, msg string) {
+	w.WriteHeader(status)
+	w.Write([]byte(msg))
+}
+
+// SuccessPathsUntouched: writing 2xx in an error-free branch is fine,
+// and error branches that don't write a status are fine too.
+func SuccessPathsUntouched(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrGone) {
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}

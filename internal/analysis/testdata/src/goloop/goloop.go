@@ -1,0 +1,122 @@
+// Package goloop is the goloop analyzer corpus: goroutine launches
+// with and without visible termination evidence. Lines with trailing
+// "want" comments expect a finding whose message matches the pattern.
+package goloop
+
+import (
+	"context"
+	"sync"
+)
+
+type pump struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// loopOnStop selects on the stop channel: termination evidence.
+func (p *pump) loopOnStop() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+	}
+}
+
+// spin has no shutdown path at all.
+func spin() {
+	for {
+	}
+}
+
+// LaunchMethod launches a same-package method whose body selects on
+// stop: clean.
+func LaunchMethod(p *pump) {
+	go p.loopOnStop()
+}
+
+// LaunchSpin launches a loop nothing can stop.
+func LaunchSpin() {
+	go spin() // want `goroutine has no visible termination`
+}
+
+// LaunchLiteralSpin: the same leak, inline.
+func LaunchLiteralSpin() {
+	go func() { // want `goroutine has no visible termination`
+		for {
+		}
+	}()
+}
+
+// CtxDone: receiving from ctx.Done() is termination evidence.
+func CtxDone(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// WaitGroupJoin: a deferred wg.Done means a joiner exists.
+func WaitGroupJoin(p *pump) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for i := 0; i < 10; i++ {
+		}
+	}()
+	p.wg.Wait()
+}
+
+// ChannelJoin: the goroutine sends on a channel the launcher receives
+// from — the classic errc handoff.
+func ChannelJoin() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return <-errc
+}
+
+// RangeOverChannel: the loop ends when the channel closes, so the
+// goroutine's lifetime is the channel's.
+func RangeOverChannel(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// OpaqueValue launches through a function value with no shutdown signal
+// in sight: the analyzer cannot see a body and the call passes nothing
+// that could stop it.
+func OpaqueValue(fn func()) {
+	go fn() // want `goroutine has no visible termination`
+}
+
+// OpaqueWithCtx passes a ctx to the opaque launch: benefit of the
+// doubt.
+func OpaqueWithCtx(ctx context.Context, fn func(context.Context)) {
+	go fn(ctx)
+}
+
+// OpaqueWithStopChan passes a stop-named channel: same.
+func OpaqueWithStopChan(fn func(chan struct{}), stop chan struct{}) {
+	go fn(stop)
+}
+
+// Suppressed is the pragma-silenced twin of LaunchSpin: a deliberate
+// run-forever goroutine.
+func Suppressed() {
+	go spin() //hsd:allow goloop corpus twin: process-lifetime goroutine
+}
+
+// OneHop: the launched function's termination evidence lives one
+// same-package call deep.
+func OneHop(p *pump) {
+	go runPump(p)
+}
+
+func runPump(p *pump) {
+	p.loopOnStop()
+}

@@ -1,0 +1,163 @@
+// Package lockorder is the lockorder analyzer corpus: a miniature of
+// the cluster router's ranked-mutex hierarchy. Lines with trailing
+// "want" comments expect a finding whose message matches the pattern.
+package lockorder
+
+import "sync"
+
+var (
+	outerMu sync.Mutex //hsd:lockrank outer 10
+	innerMu sync.Mutex //hsd:lockrank inner 20
+)
+
+// twinA and twinB share a rank: there is no safe order between them.
+var (
+	twinA sync.Mutex //hsd:lockrank twinA 40
+	twinB sync.Mutex //hsd:lockrank twinB 40
+)
+
+type box struct {
+	mu sync.RWMutex //hsd:lockrank box.mu 30
+	n  int
+}
+
+// unranked mutexes are invisible to the analyzer.
+var plainMu sync.Mutex
+
+// InOrder acquires outer before inner: the declared order.
+func InOrder() {
+	outerMu.Lock()
+	innerMu.Lock()
+	innerMu.Unlock()
+	outerMu.Unlock()
+}
+
+// Inverted acquires inner first, then outer: hierarchy inversion.
+func Inverted() {
+	innerMu.Lock()
+	outerMu.Lock() // want `acquiring outer \(rank 10\) while holding inner \(rank 20\)`
+	outerMu.Unlock()
+	innerMu.Unlock()
+}
+
+// ReleasedFirst drops inner before taking outer: clean, the flow
+// analysis must see the Unlock.
+func ReleasedFirst() {
+	innerMu.Lock()
+	innerMu.Unlock()
+	outerMu.Lock()
+	outerMu.Unlock()
+}
+
+// MayHold locks inner on only one branch; the join keeps it in the
+// may-hold set, so the later outer acquisition is still an inversion.
+func MayHold(cond bool) {
+	if cond {
+		innerMu.Lock()
+	}
+	outerMu.Lock() // want `acquiring outer \(rank 10\) while holding inner \(rank 20\)`
+	outerMu.Unlock()
+	if cond {
+		innerMu.Unlock()
+	}
+}
+
+// DeferHolds: a deferred Unlock holds the lock to function exit, so the
+// inversion below it is real.
+func DeferHolds() {
+	innerMu.Lock()
+	defer innerMu.Unlock()
+	outerMu.Lock() // want `acquiring outer \(rank 10\) while holding inner \(rank 20\)`
+	outerMu.Unlock()
+}
+
+// Reacquire deadlocks a plain Mutex on itself.
+func Reacquire() {
+	outerMu.Lock()
+	outerMu.Lock() // want `reacquiring outer \(rank 10\)`
+	outerMu.Unlock()
+	outerMu.Unlock()
+}
+
+// SharedRead: repeated RLock on an RWMutex is legal.
+func SharedRead(b *box) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return sharedReadAgain(b)
+}
+
+func sharedReadAgain(b *box) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.n
+}
+
+// WriteWhileRead upgrades an RLock in place: self-deadlock.
+func WriteWhileRead(b *box) {
+	b.mu.RLock()
+	b.mu.Lock() // want `reacquiring box.mu \(rank 30\)`
+	b.mu.Unlock()
+	b.mu.RUnlock()
+}
+
+// EqualRank: no safe order exists between same-rank locks.
+func EqualRank() {
+	twinA.Lock()
+	twinB.Lock() // want `acquiring twinB while holding twinA: equal rank 40`
+	twinB.Unlock()
+	twinA.Unlock()
+}
+
+// lockOuter is the callee of the interprocedural case.
+func lockOuter() {
+	outerMu.Lock()
+	outerMu.Unlock()
+}
+
+// ViaCallee inverts the hierarchy one call deep: the summary carries
+// the acquisition chain.
+func ViaCallee() {
+	innerMu.Lock()
+	lockOuter() // want `call acquires outer \(rank 10\) while holding inner \(rank 20\); acquisition chain: lockOuter -> outer`
+	innerMu.Unlock()
+}
+
+// ViaCalleeClean holds only the lower rank at the call: fine.
+func ViaCalleeClean() {
+	outerMu.Lock()
+	lockInner()
+	outerMu.Unlock()
+}
+
+func lockInner() {
+	innerMu.Lock()
+	innerMu.Unlock()
+}
+
+// Unranked locks never participate.
+func UnrankedIgnored() {
+	innerMu.Lock()
+	plainMu.Lock()
+	plainMu.Unlock()
+	innerMu.Unlock()
+}
+
+// Suppressed is the pragma-silenced twin of Inverted.
+func Suppressed() {
+	innerMu.Lock()
+	outerMu.Lock() //hsd:allow lockorder corpus twin: deliberate inversion
+	outerMu.Unlock()
+	innerMu.Unlock()
+}
+
+// ClosureIsNotInline: a locked closure body does not leak into the
+// enclosing function's may-hold set.
+func ClosureIsNotInline() func() {
+	fn := func() {
+		innerMu.Lock()
+		innerMu.Unlock()
+	}
+	outerMu.Lock()
+	outerMu.Unlock()
+	return fn
+}

@@ -83,20 +83,13 @@ func runTuneGatePkg(prog *Program, pkg *Package, r *Reporter) {
 		return
 	}
 
-	// Summarize every function with a body.
+	// Summarize every function with a body, from the shared index.
 	funcs := map[types.Object]*tgFunc{}
-	for _, file := range pkg.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			obj := pkg.Info.Defs[fd.Name]
-			if obj == nil || obj == gate {
-				continue
-			}
-			funcs[obj] = summarizeTuneGate(pkg, fd, gate, state)
+	for obj, fd := range pkg.FuncDecls() {
+		if obj == gate {
+			continue
 		}
+		funcs[obj] = summarizeTuneGate(pkg, fd, gate, state)
 	}
 
 	// Direct exposure: a profile read before the gate.

@@ -53,7 +53,7 @@ type shardState struct {
 	requests atomic.Int64 // proxied requests (data + admin)
 	errs     atomic.Int64 // transport-level failures
 
-	mu          sync.Mutex
+	mu          sync.Mutex //hsd:lockrank shardState.mu 40
 	healthy     bool
 	draining    bool // no new factor placements; still serves solves
 	retired     bool // drained out; never routed again
@@ -71,21 +71,23 @@ type Router struct {
 
 	// adminMu serializes migrating membership changes (join, drain) so
 	// their rebalances never interleave; probe-driven evict/rejoin
-	// touch only ringMu. Lock order:
+	// touch only ringMu. The lock hierarchy below is machine-checked by
+	// hsdlint's lockorder analyzer from the //hsd:lockrank annotations
+	// (lower rank = acquired first):
 	// adminMu > shardMu > ringMu > shardState.mu > placeMu.
-	adminMu sync.Mutex
+	adminMu sync.Mutex //hsd:lockrank adminMu 10
 
-	shardMu sync.RWMutex
+	shardMu sync.RWMutex //hsd:lockrank shardMu 20
 	shards  map[string]*shardState
 
-	ringMu sync.RWMutex
+	ringMu sync.RWMutex //hsd:lockrank ringMu 30
 	ring   *Ring
 
 	// placements records which shards hold each key — written at factor
 	// time and rewritten by migrations. It is what lets a solve for a
 	// lost key answer "owner set down" (503) instead of "never heard of
 	// it" (404), and what drains and joins enumerate.
-	placeMu    sync.Mutex
+	placeMu    sync.Mutex //hsd:lockrank placeMu 50
 	placements map[string][]string
 
 	seq       atomic.Int64
@@ -304,6 +306,7 @@ func (rt *Router) ProbeNow() {
 		if retired {
 			continue
 		}
+		//hsd:allow ctxflow probes are fire-and-forget with their own deadline; no caller ctx exists
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url+"/healthz", nil)
 		if err != nil {
@@ -481,9 +484,7 @@ func (rt *Router) Join(si ShardInfo) error {
 	next.Add(si.Name)
 	rt.rebalanceLocked(next, "")
 
-	rt.ringMu.Lock()
-	rt.ring = next
-	rt.ringMu.Unlock()
+	rt.installRing(next)
 	return nil
 }
 
@@ -512,9 +513,7 @@ func (rt *Router) Drain(name string) error {
 	next.Remove(name)
 	rt.rebalanceLocked(next, name)
 
-	rt.ringMu.Lock()
-	rt.ring = next
-	rt.ringMu.Unlock()
+	rt.installRing(next)
 
 	// Shard-side drain: it finishes inflight work and refuses new jobs.
 	// A solve racing this gets the shard's 503 and fails over to a
@@ -545,6 +544,35 @@ func (rt *Router) Drain(name string) error {
 		return fmt.Errorf("cluster: shard %q state migrated but drain call failed: %w", name, err)
 	}
 	return nil
+}
+
+// installRing publishes a prospective ring built by a migration
+// (adminMu held). The clone the migration worked against predates the
+// swap, so any membership event that raced it — a probe or transport
+// eviction, a rejoin — only landed on the ring being replaced: swapping
+// the stale clone in verbatim would resurrect an evicted shard's ring
+// points (or drop a rejoined shard's) until the next event fixed it up.
+// Reconcile under ringMu: re-read each shard's flags and apply them to
+// the prospective ring before it goes live. Flag writers (noteAlive,
+// noteTransportError) set the flag under shardState.mu strictly before
+// their own ringMu section, so every event is either visible to this
+// re-read or its ring edit lands on the installed ring — never neither.
+func (rt *Router) installRing(next *Ring) {
+	shards := rt.shardList()
+	rt.ringMu.Lock()
+	for _, s := range shards {
+		s.mu.Lock()
+		healthy, retired, draining := s.healthy, s.retired, s.draining
+		s.mu.Unlock()
+		switch {
+		case !healthy || retired:
+			next.Remove(s.name)
+		case !draining:
+			next.Add(s.name)
+		}
+	}
+	rt.ring = next
+	rt.ringMu.Unlock()
 }
 
 // rebalanceLocked (adminMu held) rewrites every placement to the owner
@@ -589,7 +617,11 @@ func ownerSetDown(w http.ResponseWriter, msg string) {
 
 // readPost guards then reads a request body: POST only, exact media
 // type, size-capped. Order matters — method and Content-Type are
-// checked before any body byte is read.
+// checked before any body byte is read. This is the package's
+// error-to-status table for request-body errors; hsdlint's errstatus
+// analyzer keeps any new errors.Is/As → 4xx/5xx mapping in here.
+//
+//hsd:statusmap
 func (rt *Router) readPost(w http.ResponseWriter, r *http.Request, want string) ([]byte, bool) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)

@@ -405,3 +405,83 @@ func TestClusterFactorFailoverToReplica(t *testing.T) {
 		t.Fatalf("solve after factor failover: %d %v", code, out)
 	}
 }
+
+// TestClusterJoinDoesNotResurrectEvictedShard pins the installRing
+// reconciliation against the probe/ring-swap race: Join clones the
+// ring, migrates against the clone, and only then installs it. A shard
+// evicted for transport failures during that migration window was
+// edited out of the *old* ring; the swap must not bring it back.
+func TestClusterJoinDoesNotResurrectEvictedShard(t *testing.T) {
+	newShard := func(name string) (*serve.Server, *engine.Engine) {
+		eng, err := engine.New(engine.Options{Workers: 1, MaxInflight: 16, DynamicRatio: 0.25})
+		if err != nil {
+			t.Fatalf("engine for %s: %v", name, err)
+		}
+		return serve.New(eng, serve.Options{Keep: 32}), eng
+	}
+	srvA, engA := newShard("a")
+	defer engA.Close()
+	shardA := httptest.NewServer(srvA.Handler())
+	defer shardA.Close()
+	srvB, engB := newShard("b")
+	defer engB.Close()
+	shardB := httptest.NewServer(srvB.Handler())
+	defer shardB.Close()
+
+	rt, err := cluster.NewRouter(cluster.RouterOptions{
+		Shards: []cluster.ShardInfo{
+			{Name: "a", URL: shardA.URL},
+			{Name: "b", URL: shardB.URL},
+		},
+		Replicas:  2,
+		FailAfter: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	const n, keys = 8, 8
+	for i := 0; i < keys; i++ {
+		factorVia(t, front.URL, n, i+1)
+	}
+
+	// Shard c is a real serve shard behind an interposer: the first
+	// import that reaches it runs mid-Join — after the prospective ring
+	// was cloned, before it is installed. At exactly that point, kill b
+	// and force a probe pass, so the eviction edits the ring the Join
+	// is about to replace.
+	srvC, engC := newShard("c")
+	defer engC.Close()
+	var tripped atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/admin/import") && tripped.CompareAndSwap(false, true) {
+			shardB.Close()
+			rt.ProbeNow()
+		}
+		srvC.Handler().ServeHTTP(w, r)
+	})
+	shardC := httptest.NewServer(mux)
+	defer shardC.Close()
+
+	if err := rt.Join(cluster.ShardInfo{Name: "c", URL: shardC.URL}); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if !tripped.Load() {
+		t.Fatal("no import reached the joining shard; the eviction window was never exercised")
+	}
+
+	members := map[string]bool{}
+	for _, m := range rt.Stats().RingMembers {
+		members[m] = true
+	}
+	if members["b"] {
+		t.Fatalf("shard b was evicted mid-join but the ring swap resurrected it: members %v", rt.Stats().RingMembers)
+	}
+	if !members["a"] || !members["c"] {
+		t.Fatalf("live shards missing from the installed ring: members %v", rt.Stats().RingMembers)
+	}
+}

@@ -475,7 +475,7 @@ func (j *Job) Span() time.Duration      { return j.span }
 // requested static share; the engine may grant less under load (at
 // least 1), recorded in Job.Granted.
 func (e *Engine) SubmitFactor(a *mat.Dense, opt core.Options) (*Job, error) {
-	return e.SubmitFactorCtx(context.Background(), a, opt)
+	return e.SubmitFactorCtx(context.Background(), a, opt) //hsd:allow ctxflow ctx-free compat API is the documented non-cancellable form
 }
 
 // SubmitFactorCtx is SubmitFactor bound to a context: cancellation
@@ -495,7 +495,7 @@ func (e *Engine) TrySubmitFactor(a *mat.Dense, opt core.Options) (*Job, error) {
 	if a == nil || a.Rows == 0 || a.Cols == 0 {
 		return nil, errors.New("engine: factor needs a non-empty matrix")
 	}
-	return e.admit(context.Background(), &Job{kind: factorJob, a: a, reqOpt: opt, done: make(chan struct{})}, false)
+	return e.admit(context.Background(), &Job{kind: factorJob, a: a, reqOpt: opt, done: make(chan struct{})}, false) //hsd:allow ctxflow non-blocking Try form never waits, nothing to cancel
 }
 
 // SubmitCholeskyFactor admits a tiled Cholesky factorization of the
@@ -505,7 +505,7 @@ func (e *Engine) TrySubmitFactor(a *mat.Dense, opt core.Options) (*Job, error) {
 // granted static share, dynamic lending, bit-identical to a one-shot
 // core.FactorCholesky at Workers=Granted.
 func (e *Engine) SubmitCholeskyFactor(a *mat.Dense, opt core.Options) (*Job, error) {
-	return e.SubmitCholeskyFactorCtx(context.Background(), a, opt)
+	return e.SubmitCholeskyFactorCtx(context.Background(), a, opt) //hsd:allow ctxflow ctx-free compat API is the documented non-cancellable form
 }
 
 // SubmitCholeskyFactorCtx is SubmitCholeskyFactor bound to a context;
@@ -523,7 +523,7 @@ func (e *Engine) TrySubmitCholeskyFactor(a *mat.Dense, opt core.Options) (*Job, 
 	if a == nil || a.Rows == 0 || a.Cols == 0 {
 		return nil, errors.New("engine: factor needs a non-empty matrix")
 	}
-	return e.admit(context.Background(), &Job{kind: choleskyJob, a: a, reqOpt: opt, done: make(chan struct{})}, false)
+	return e.admit(context.Background(), &Job{kind: choleskyJob, a: a, reqOpt: opt, done: make(chan struct{})}, false) //hsd:allow ctxflow non-blocking Try form never waits, nothing to cancel
 }
 
 // solveJobOf wraps a solve submission. The single-RHS convenience form
@@ -558,7 +558,7 @@ func solveManyJobOf(f Solvable, b *mat.Dense, opt core.Options) (*Job, error) {
 // the share; opt.Scheduler/Block/DynamicRatio shape the graph), so big
 // solves parallelize and lend exactly like factorizations.
 func (e *Engine) SubmitSolve(f Solvable, b []float64, opt core.Options) (*Job, error) {
-	return e.SubmitSolveCtx(context.Background(), f, b, opt)
+	return e.SubmitSolveCtx(context.Background(), f, b, opt) //hsd:allow ctxflow ctx-free compat API is the documented non-cancellable form
 }
 
 // SubmitSolveCtx is SubmitSolve bound to a context; see
@@ -577,13 +577,13 @@ func (e *Engine) TrySubmitSolve(f Solvable, b []float64, opt core.Options) (*Job
 	if err != nil {
 		return nil, err
 	}
-	return e.admit(context.Background(), j, false)
+	return e.admit(context.Background(), j, false) //hsd:allow ctxflow non-blocking Try form never waits, nothing to cancel
 }
 
 // SubmitSolveMany admits a multi-RHS solve of f against the n x nrhs
 // block b (not modified), blocking while the admission queue is full.
 func (e *Engine) SubmitSolveMany(f Solvable, b *mat.Dense, opt core.Options) (*Job, error) {
-	return e.SubmitSolveManyCtx(context.Background(), f, b, opt)
+	return e.SubmitSolveManyCtx(context.Background(), f, b, opt) //hsd:allow ctxflow ctx-free compat API is the documented non-cancellable form
 }
 
 // SubmitSolveManyCtx is SubmitSolveMany bound to a context; see
@@ -603,7 +603,7 @@ func (e *Engine) TrySubmitSolveMany(f Solvable, b *mat.Dense, opt core.Options) 
 	if err != nil {
 		return nil, err
 	}
-	return e.admit(context.Background(), j, false)
+	return e.admit(context.Background(), j, false) //hsd:allow ctxflow non-blocking Try form never waits, nothing to cancel
 }
 
 // SubmitCholeskySolve is SubmitSolve for a Cholesky factorization,

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -68,7 +69,10 @@ func Getrf(a View, piv []int) error {
 		w := min(pmr, steps-j0)
 		micro := a.Sub(j0, m, j0, j0+w)
 		if err := getf2Micro(micro, piv[j0:j0+w]); err != nil {
-			se := err.(*SingularError)
+			var se *SingularError
+			if !errors.As(err, &se) {
+				return err
+			}
 			// Globalize the established prefix: offset its pivot rows and
 			// report the failing column's global index. The matrix is left
 			// partially factored (unspecified beyond the prefix).

@@ -277,29 +277,44 @@ func (s *Server) decodePost(w http.ResponseWriter, r *http.Request, v any) bool 
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err := dec.Decode(v); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge,
-				"request body exceeds %d bytes", tooBig.Limit)
-			return false
-		}
-		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		bodyError(w, err)
 		return false
 	}
 	// Token (not More) is the complete trailing check: More reports
 	// false for a stray closing bracket, while Token returns io.EOF
 	// only when nothing but whitespace follows the value.
-	if _, err := dec.Token(); err != io.EOF {
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		//hsd:allow errstatus io.EOF is the success condition here, not an error being mapped
 		httpError(w, http.StatusBadRequest, "bad request: trailing data after JSON body")
 		return false
 	}
 	return true
 }
 
+// bodyError maps a request-body read or decode error to its HTTP
+// reply: an oversized body is 413 carrying the limit, anything else is
+// the caller's 400. Part of the package's error-to-status table
+// (//hsd:statusmap): hsdlint's errstatus analyzer keeps every
+// errors.Is/As → 4xx/5xx mapping inside table functions like this one.
+//
+//hsd:statusmap
+func bodyError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds %d bytes", tooBig.Limit)
+		return
+	}
+	httpError(w, http.StatusBadRequest, "bad request: %v", err)
+}
+
 // submitError maps an engine submission error to an HTTP reply: a shed
 // deadline is 503 (the request was refused for its SLO, not for load —
 // retrying with a looser deadline can succeed), saturation is 429 so
-// load balancers back off, anything else is the caller's fault.
+// load balancers back off, anything else is the caller's fault. Part of
+// the package's error-to-status table.
+//
+//hsd:statusmap
 func submitError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, engine.ErrDeadlineInfeasible):
@@ -311,6 +326,28 @@ func submitError(w http.ResponseWriter, err error) {
 	default:
 		httpError(w, http.StatusBadRequest, "%v", err)
 	}
+}
+
+// solveError maps a failed solve job to its HTTP reply: a singular
+// system gets the typed 422 carrying how much of the system is still
+// solvable, anything else a plain 422. Part of the package's
+// error-to-status table.
+//
+//hsd:statusmap
+func solveError(w http.ResponseWriter, err error) {
+	var se *core.SingularSolveError
+	if errors.As(err, &se) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error":          err.Error(),
+			"solvablePrefix": se.Prefix,
+			"n":              se.N,
+			"degradedSystem": true,
+		})
+		return
+	}
+	httpError(w, http.StatusUnprocessableEntity, "solve failed: %v", err)
 }
 
 // handleFactor serves /v1/factor (chol=false) and /v1/cholesky
@@ -431,19 +468,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, wantChol bo
 		return
 	}
 	if err := job.Wait(); err != nil {
-		var se *core.SingularSolveError
-		if errors.As(err, &se) {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusUnprocessableEntity)
-			json.NewEncoder(w).Encode(map[string]any{
-				"error":          err.Error(),
-				"solvablePrefix": se.Prefix,
-				"n":              se.N,
-				"degradedSystem": true,
-			})
-			return
-		}
-		httpError(w, http.StatusUnprocessableEntity, "solve failed: %v", err)
+		solveError(w, err)
 		return
 	}
 	// The solution block is tightly strided (mat.New), so its backing
@@ -566,13 +591,7 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge,
-				"request body exceeds %d bytes", tooBig.Limit)
-			return
-		}
-		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		bodyError(w, err)
 		return
 	}
 	lu, chol, err := cluster.DecodeFactorization(body)
